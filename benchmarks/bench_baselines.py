@@ -1,0 +1,11 @@
+"""E3 — comparison against non-moving and cost-specific baselines."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_e3_baseline_comparison(benchmark, quick_mode):
+    result = run_and_print(benchmark, "E3", quick_mode)
+    summary = result.data["summary"]
+    oblivious = next(v for k, v in summary.items() if k.startswith("cost-oblivious"))
+    assert oblivious["churn_footprint"] <= 1.25 + 1e-9
+    assert summary["first-fit"]["fragmentation_footprint"] > 5

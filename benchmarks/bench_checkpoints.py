@@ -1,0 +1,9 @@
+"""E5 — checkpoints needed per buffer flush (Lemma 3.3)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_e5_checkpoints_per_flush(benchmark, quick_mode):
+    result = run_and_print(benchmark, "E5", quick_mode)
+    for row in result.rows:
+        assert row[3] < 200  # max checkpoints per request stays far below object counts

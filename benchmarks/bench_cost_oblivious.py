@@ -1,0 +1,10 @@
+"""E2 — cost obliviousness across cost functions (Theorem 2.1, Lemma 2.6)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_e2_cost_obliviousness(benchmark, quick_mode):
+    result = run_and_print(benchmark, "E2", quick_mode)
+    for row in result.rows:
+        for ratio in row[1:]:
+            assert 0 < ratio < 60

@@ -1,0 +1,8 @@
+"""E7 — worst-case per-update reallocation of the deamortized variant (Lemma 3.6)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_e7_worst_case_update(benchmark, quick_mode):
+    result = run_and_print(benchmark, "E7", quick_mode)
+    assert result.data["deamortized (Sec. 3.3)"]["violations"] == 0

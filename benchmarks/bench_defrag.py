@@ -1,0 +1,9 @@
+"""E4 — cost-oblivious defragmentation within (1+eps)V + Delta space (Thm 2.7)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_e4_defragmentation(benchmark, quick_mode):
+    result = run_and_print(benchmark, "E4", quick_mode)
+    for outcome in result.data["outcomes"]:
+        assert outcome["peak"] <= outcome["bound"] + 1e-9

@@ -1,0 +1,11 @@
+"""F1–F4 — the paper's illustrative figures regenerated from live structures."""
+
+import pytest
+
+from benchmarks.conftest import run_and_print
+
+
+@pytest.mark.parametrize("figure", ["F1", "F2", "F3", "F4"])
+def test_figures(benchmark, quick_mode, figure):
+    result = run_and_print(benchmark, figure, quick_mode)
+    assert result.rows

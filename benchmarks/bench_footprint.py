@@ -1,0 +1,11 @@
+"""E1 — footprint competitiveness vs epsilon (Theorem 2.1, Lemma 2.5)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_e1_footprint_vs_epsilon(benchmark, quick_mode):
+    result = run_and_print(benchmark, "E1", quick_mode)
+    for row in result.rows:
+        _variant, _eps, bound, footprint_ratio, reserved_ratio, _moves = row
+        assert reserved_ratio <= bound + 1e-9
+        assert footprint_ratio <= bound + 1e-9

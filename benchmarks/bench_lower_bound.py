@@ -1,0 +1,9 @@
+"""E8 — the Lemma 3.7 lower-bound instance."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_e8_lower_bound(benchmark, quick_mode):
+    result = run_and_print(benchmark, "E8", quick_mode)
+    for (delta, _label), worst in result.data.items():
+        assert worst["linear"] >= delta

@@ -1,0 +1,46 @@
+"""Micro-benchmarks: raw request throughput of each allocator.
+
+Unlike the experiment benchmarks (which time a whole table regeneration once),
+these use pytest-benchmark's statistical timing on a fixed churn trace so the
+per-request overhead of the different algorithms can be compared run to run.
+"""
+
+import pytest
+
+from repro.allocators import (
+    BestFitAllocator,
+    BuddyAllocator,
+    FirstFitAllocator,
+    LoggingCompactingReallocator,
+    SizeClassGapReallocator,
+)
+from repro.core import (
+    CheckpointedReallocator,
+    CostObliviousReallocator,
+    DeamortizedReallocator,
+)
+from repro.workloads import UniformSizes, churn_trace
+
+TRACE = churn_trace(1200, UniformSizes(1, 64), target_live=120, seed=101)
+
+CONTENDERS = [
+    ("first-fit", lambda: FirstFitAllocator(audit=False)),
+    ("best-fit", lambda: BestFitAllocator(audit=False)),
+    ("buddy", lambda: BuddyAllocator(audit=False)),
+    ("logging-compact", lambda: LoggingCompactingReallocator(audit=False)),
+    ("size-class-gap", lambda: SizeClassGapReallocator(audit=False)),
+    ("cost-oblivious", lambda: CostObliviousReallocator(epsilon=0.25, audit=False)),
+    ("checkpointed", lambda: CheckpointedReallocator(epsilon=0.25, audit=False)),
+    ("deamortized", lambda: DeamortizedReallocator(epsilon=0.25, audit=False)),
+]
+
+
+@pytest.mark.parametrize("name,factory", CONTENDERS, ids=[name for name, _ in CONTENDERS])
+def test_churn_throughput(benchmark, name, factory):
+    def run_once():
+        allocator = factory()
+        allocator.run(TRACE)
+        return allocator
+
+    allocator = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert allocator.stats.requests == len(TRACE)

@@ -1,0 +1,8 @@
+"""E9 — throughput and moved volume as traces grow."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_e9_scaling(benchmark, quick_mode):
+    result = run_and_print(benchmark, "E9", quick_mode)
+    assert len({row[0] for row in result.rows}) == 3

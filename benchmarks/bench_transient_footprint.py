@@ -1,0 +1,8 @@
+"""E6 — footprint during flushes stays (1+O(eps))V + O(Delta) (Lemmas 3.1, 3.5)."""
+
+from benchmarks.conftest import run_and_print
+
+
+def test_e6_transient_footprint(benchmark, quick_mode):
+    result = run_and_print(benchmark, "E6", quick_mode)
+    assert all(row[-1] is True for row in result.rows)

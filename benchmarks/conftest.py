@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Every experiment benchmark runs its experiment exactly once under
+``pytest-benchmark`` (timing the whole table regeneration) and prints the
+resulting table, so ``pytest benchmarks/ --benchmark-only`` both times the
+harness and emits the tables recorded in EXPERIMENTS.md.
+
+Set ``REPRO_BENCH_FULL=1`` to regenerate the tables with full-size traces.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick_mode() -> bool:
+    """Whether benchmarks should use the quick trace sizes (the default)."""
+    return os.environ.get("REPRO_BENCH_FULL", "") != "1"
+
+
+def run_and_print(benchmark, experiment_id: str, quick: bool):
+    """Run one registered experiment under the benchmark timer and print it."""
+    from repro.harness import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id,), kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    print()
+    print(result.to_text())
+    return result

@@ -1,0 +1,59 @@
+"""One allocator, three devices: why cost obliviousness matters.
+
+The same reallocator execution is replayed against simulated RAM, rotating
+disk, and SSD devices, and simultaneously charged under each device's analytic
+cost function.  A reallocator tuned for one device (logging-and-compacting
+for bandwidth, the size-class-gap scheme for seeks) looks great on that device
+and mediocre on another; the cost-oblivious reallocator stays within its
+guarantee on all three without being told which one it is running on.
+
+Run with::
+
+    python examples/device_comparison.py
+"""
+
+from repro import CostObliviousReallocator
+from repro.allocators import LoggingCompactingReallocator, SizeClassGapReallocator
+from repro.metrics import ascii_table, run_trace
+from repro.storage.devices import MainMemoryDevice, RotatingDiskDevice, SolidStateDevice
+from repro.workloads import BimodalSizes, churn_trace
+
+
+def main() -> None:
+    trace = churn_trace(6_000, BimodalSizes(4, 512, 0.05), target_live=250, seed=17)
+    devices = [MainMemoryDevice(), RotatingDiskDevice(), SolidStateDevice()]
+    cost_functions = [device.cost_function() for device in devices]
+
+    rows = []
+    for factory in (
+        lambda: LoggingCompactingReallocator(),
+        lambda: SizeClassGapReallocator(),
+        lambda: CostObliviousReallocator(epsilon=0.25),
+    ):
+        allocator = factory()
+        metrics = run_trace(allocator, trace, cost_functions=cost_functions)
+        rows.append(
+            [
+                allocator.describe(),
+                f"{metrics.max_footprint_ratio:.2f}",
+                *(f"{metrics.cost_ratios[cost.name]:.2f}" for cost in cost_functions),
+            ]
+        )
+
+    print(
+        ascii_table(
+            ["allocator", "max footprint/V"] + [f"cost ratio ({d.name})" for d in devices],
+            rows,
+            title="Same workload, charged per device after the fact",
+        )
+    )
+    print()
+    print(
+        "The cost-oblivious reallocator never sees the device model, yet its "
+        "ratio stays bounded in every column; the tuned baselines trade one "
+        "column for another (and the non-moving ones would trade footprint instead)."
+    )
+
+
+if __name__ == "__main__":
+    main()

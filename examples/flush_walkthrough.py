@@ -1,0 +1,56 @@
+"""Walk through the data structure of Section 2, reproducing Figures 2 and 3.
+
+The script builds a small instance, prints the size-class layout (payload and
+buffer segments — the paper's Figure 2), then triggers a buffer flush and
+prints every move it performs together with the layout afterwards (Figure 3).
+
+Run with::
+
+    python examples/flush_walkthrough.py
+"""
+
+from repro import CostObliviousReallocator, render_layout
+
+
+def main() -> None:
+    realloc = CostObliviousReallocator(epsilon=0.5, trace=True)
+
+    print("=== building the Figure 2 layout ===")
+    for index, size in enumerate([6, 6, 3, 3, 12, 12, 2, 2]):
+        realloc.insert(f"o{index}", size)
+    print(render_layout(realloc))
+    print()
+
+    print("=== a few updates accumulate in the buffers ===")
+    realloc.delete("o1")
+    realloc.delete("o6")
+    realloc.insert("a", 3)
+    print(render_layout(realloc))
+    print()
+
+    print("=== inserting until a buffer flush is triggered (Figure 3) ===")
+    flush_request = None
+    step = 0
+    while flush_request is None:
+        record = realloc.insert(f"fill{step}", 3)
+        step += 1
+        if record.flush is not None:
+            flush_request = record
+    flush = flush_request.flush
+    print(f"flush boundary class : {flush.boundary_class}")
+    print(f"classes flushed      : {flush.classes_flushed}")
+    print(f"objects moved        : {flush.move_count} ({flush.moved_volume} units)")
+    print()
+    print("moves performed by the flush:")
+    for move in flush_request.moves:
+        origin = str(move.source) if move.source else "(new object)"
+        print(f"  {str(move.name):>8} size {move.size:>3}  {origin:>12} -> "
+              f"{move.destination}   [{move.reason}]")
+    print()
+    print("layout after the flush — every flushed buffer is empty again "
+          "(Invariant 2.4):")
+    print(render_layout(realloc))
+
+
+if __name__ == "__main__":
+    main()

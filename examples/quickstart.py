@@ -1,0 +1,54 @@
+"""Quickstart: allocate, free, and watch the footprint stay within (1+eps)V.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import random
+
+from repro import (
+    CostObliviousReallocator,
+    LinearCost,
+    ConstantCost,
+    RotatingDiskCost,
+    render_layout,
+)
+
+
+def main() -> None:
+    # A reallocator that promises a footprint within 25% of the live volume,
+    # without knowing anything about how expensive moves are.
+    realloc = CostObliviousReallocator(epsilon=0.25)
+
+    rng = random.Random(7)
+    live = []
+    for step in range(5_000):
+        if live and rng.random() < 0.45:
+            victim = live.pop(rng.randrange(len(live)))
+            realloc.delete(victim)
+        else:
+            name = f"block-{step}"
+            realloc.insert(name, rng.randint(1, 128))
+            live.append(name)
+
+    volume = realloc.volume
+    print(f"live objects : {realloc.num_objects}")
+    print(f"live volume  : {volume}")
+    print(f"footprint    : {realloc.footprint}  (bound: {1.25 * volume:.0f})")
+    print(f"worst ratio  : {realloc.stats.max_footprint_ratio:.3f}  (bound 1.25)")
+    print()
+
+    # Cost obliviousness: charge the same execution under different devices
+    # after the fact.  The algorithm never saw any of these cost functions.
+    for cost in (LinearCost(), ConstantCost(), RotatingDiskCost()):
+        ratio = realloc.stats.cost_ratio(cost)
+        print(f"reallocation/allocation cost under {cost.name:>8}: {ratio:6.2f}")
+    print()
+
+    print("current layout (one bar per size class, # = payload, o/x = buffer):")
+    print(render_layout(realloc))
+
+
+if __name__ == "__main__":
+    main()

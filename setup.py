@@ -1,0 +1,10 @@
+"""Setuptools shim so editable installs work without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` succeeds on minimal, offline environments whose
+setuptools cannot build PEP 517 wheels.
+"""
+
+from setuptools import setup
+
+setup()

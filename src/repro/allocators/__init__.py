@@ -1,0 +1,61 @@
+"""Baseline allocators the paper compares against (explicitly or implicitly).
+
+Non-moving allocators (the classical *memory allocation* problem, whose
+footprint competitive ratio is provably logarithmic):
+
+* :class:`FirstFitAllocator`, :class:`BestFitAllocator`,
+  :class:`NextFitAllocator`, :class:`WorstFitAllocator` — free-list policies.
+* :class:`BuddyAllocator` — power-of-two buddy system (Knowlton 1965).
+* :class:`AppendOnlyAllocator` — never reuses space at all (worst case).
+
+Moving baselines from the paper's introduction and Section 2 intuition:
+
+* :class:`LoggingCompactingReallocator` — log-structured allocation with full
+  compaction when the footprint reaches ``2V``; ``(2, 2)``-competitive for
+  linear costs but pays ``Theta(Delta)`` per deletion for constant costs.
+* :class:`SizeClassGapReallocator` — the constant-reallocation-cost scheme of
+  Bender et al. 2009 (objects grouped by power-of-two class with a gap per
+  class); ``O(1)`` amortized moves but ``Theta(log Delta)``-competitive in
+  moved volume, hence for linear costs.
+* :class:`IdealPackingReallocator` — keeps the layout perfectly packed by
+  moving whatever it takes (footprint exactly ``V``, unbounded move cost);
+  the footprint oracle used as the denominator in competitive ratios.
+"""
+
+from repro.allocators.free_list import (
+    FreeListAllocator,
+    FirstFitAllocator,
+    BestFitAllocator,
+    NextFitAllocator,
+    WorstFitAllocator,
+    AppendOnlyAllocator,
+)
+from repro.allocators.buddy import BuddyAllocator
+from repro.allocators.logging_compact import LoggingCompactingReallocator
+from repro.allocators.size_class_gap import SizeClassGapReallocator
+from repro.allocators.oracle import IdealPackingReallocator
+
+BASELINE_ALLOCATORS = (
+    FirstFitAllocator,
+    BestFitAllocator,
+    NextFitAllocator,
+    WorstFitAllocator,
+    BuddyAllocator,
+    AppendOnlyAllocator,
+    LoggingCompactingReallocator,
+    SizeClassGapReallocator,
+)
+
+__all__ = [
+    "FreeListAllocator",
+    "FirstFitAllocator",
+    "BestFitAllocator",
+    "NextFitAllocator",
+    "WorstFitAllocator",
+    "AppendOnlyAllocator",
+    "BuddyAllocator",
+    "LoggingCompactingReallocator",
+    "SizeClassGapReallocator",
+    "IdealPackingReallocator",
+    "BASELINE_ALLOCATORS",
+]

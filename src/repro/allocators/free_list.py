@@ -1,0 +1,170 @@
+"""Classical non-moving allocators built on an explicit free list.
+
+These implement the *memory allocation* problem the paper contrasts with:
+once placed, an object never moves, so the only lever is which free gap to
+choose.  The footprint competitive ratio of every such policy is
+``Omega(log)`` in the worst case (Luby, Naor and Orda 1996), which experiment
+E3 demonstrates against the cost-oblivious reallocator.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Tuple
+
+from repro.core.base import Allocator
+from repro.storage.extent import Extent
+
+
+class FreeListAllocator(Allocator):
+    """Base class for free-list policies; subclasses pick the gap.
+
+    The free list holds maximal free extents *below* the high-water mark in
+    address order.  Inserts either reuse a gap (per policy) or extend the
+    high-water mark; deletes return the extent to the free list and coalesce.
+    """
+
+    name = "free-list"
+    supports_reallocation = False
+
+    def __init__(self, trace: bool = False, audit: bool = True) -> None:
+        super().__init__(trace=trace, audit=audit)
+        self._free: List[Extent] = []  # sorted by start address
+        self._high_water = 0
+
+    # ----------------------------------------------------------- policy hook
+    def _choose_gap(self, size: int) -> Optional[int]:
+        """Return the index into the free list to use, or None to extend."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- requests
+    def _do_insert(self, name: Hashable, size: int) -> None:
+        index = self._choose_gap(size)
+        if index is None:
+            address = self._high_water
+            self._high_water += size
+        else:
+            gap = self._free[index]
+            address = gap.start
+            if gap.length == size:
+                del self._free[index]
+            else:
+                self._free[index] = Extent(gap.start + size, gap.length - size)
+        self._place_object(name, size, address, reason="insert")
+
+    def _do_delete(self, name: Hashable, size: int) -> None:
+        extent = self._free_object(name)
+        self._release(extent)
+
+    # ------------------------------------------------------------- free list
+    def _release(self, extent: Extent) -> None:
+        """Insert ``extent`` into the free list, coalescing with neighbours."""
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid].start < extent.start:
+                lo = mid + 1
+            else:
+                hi = mid
+        start, end = extent.start, extent.end
+        # Coalesce with the predecessor and successor where adjacent.
+        if lo > 0 and self._free[lo - 1].end == start:
+            start = self._free[lo - 1].start
+            del self._free[lo - 1]
+            lo -= 1
+        if lo < len(self._free) and self._free[lo].start == end:
+            end = self._free[lo].end
+            del self._free[lo]
+        if end == self._high_water:
+            # Shrink the high-water mark instead of keeping a trailing gap.
+            self._high_water = start
+        else:
+            self._free.insert(lo, Extent(start, end - start))
+
+    def free_volume(self) -> int:
+        """Total free space below the high-water mark."""
+        return sum(gap.length for gap in self._free)
+
+    @property
+    def high_water(self) -> int:
+        return self._high_water
+
+
+class FirstFitAllocator(FreeListAllocator):
+    """Use the lowest-addressed gap that fits."""
+
+    name = "first-fit"
+
+    def _choose_gap(self, size: int) -> Optional[int]:
+        for index, gap in enumerate(self._free):
+            if gap.length >= size:
+                return index
+        return None
+
+
+class BestFitAllocator(FreeListAllocator):
+    """Use the smallest gap that fits (ties broken by address)."""
+
+    name = "best-fit"
+
+    def _choose_gap(self, size: int) -> Optional[int]:
+        best: Optional[int] = None
+        best_length = None
+        for index, gap in enumerate(self._free):
+            if gap.length >= size and (best_length is None or gap.length < best_length):
+                best = index
+                best_length = gap.length
+        return best
+
+
+class WorstFitAllocator(FreeListAllocator):
+    """Use the largest gap that fits."""
+
+    name = "worst-fit"
+
+    def _choose_gap(self, size: int) -> Optional[int]:
+        worst: Optional[int] = None
+        worst_length = -1
+        for index, gap in enumerate(self._free):
+            if gap.length >= size and gap.length > worst_length:
+                worst = index
+                worst_length = gap.length
+        return worst
+
+
+class NextFitAllocator(FreeListAllocator):
+    """First Fit with a roving pointer that resumes where the last search ended."""
+
+    name = "next-fit"
+
+    def __init__(self, trace: bool = False, audit: bool = True) -> None:
+        super().__init__(trace=trace, audit=audit)
+        self._rover = 0
+
+    def _choose_gap(self, size: int) -> Optional[int]:
+        count = len(self._free)
+        if count == 0:
+            return None
+        start = min(self._rover, count - 1)
+        for offset in range(count):
+            index = (start + offset) % count
+            if self._free[index].length >= size:
+                self._rover = index
+                return index
+        return None
+
+
+class AppendOnlyAllocator(FreeListAllocator):
+    """Never reuses freed space: the worst-case non-moving baseline.
+
+    Models a log-structured store without any compaction; its footprint
+    equals the total volume ever allocated.
+    """
+
+    name = "append-only"
+
+    def _choose_gap(self, size: int) -> Optional[int]:
+        return None
+
+    def _do_delete(self, name: Hashable, size: int) -> None:
+        # Drop the extent without returning it to any free list.
+        self._free_object(name)

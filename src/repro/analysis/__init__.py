@@ -1,0 +1,17 @@
+"""Analytical bound predictors used to sanity-check measured results."""
+
+from repro.analysis.bounds import (
+    predicted_cost_ratio,
+    predicted_footprint_ratio,
+    predicted_checkpoints_per_flush,
+    predicted_worst_case_moved_volume,
+    memory_allocation_lower_bound,
+)
+
+__all__ = [
+    "predicted_cost_ratio",
+    "predicted_footprint_ratio",
+    "predicted_checkpoints_per_flush",
+    "predicted_worst_case_moved_volume",
+    "memory_allocation_lower_bound",
+]

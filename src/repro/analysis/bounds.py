@@ -1,0 +1,60 @@
+"""Closed-form versions of the paper's asymptotic bounds.
+
+These are *shapes*, not exact constants: the experiments compare measured
+quantities against them to confirm the predicted scaling (e.g. that the cost
+ratio grows like ``(1/eps) log(1/eps)`` as ``eps`` shrinks, or that the
+footprint of a non-moving allocator can be forced up by a log factor), never
+to match absolute values.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def predicted_footprint_ratio(epsilon: float) -> float:
+    """Theorem 2.1: the footprint stays within ``1 + epsilon`` of optimal."""
+    if not 0 < epsilon <= 0.5:
+        raise ValueError("epsilon must lie in (0, 1/2]")
+    return 1.0 + epsilon
+
+
+def predicted_cost_ratio(epsilon: float, constant: float = 1.0) -> float:
+    """Theorem 2.1 / Lemma 2.6: amortized cost ``O((1/eps) log(1/eps))``.
+
+    ``constant`` absorbs the hidden constant; experiments fit it once on the
+    largest epsilon and then check the scaling of the rest of the sweep.
+    """
+    if not 0 < epsilon <= 0.5:
+        raise ValueError("epsilon must lie in (0, 1/2]")
+    inv = 1.0 / epsilon
+    return constant * inv * max(1.0, math.log2(inv))
+
+
+def predicted_checkpoints_per_flush(epsilon: float, constant: float = 1.0) -> float:
+    """Lemma 3.3: a flush completes within ``O(1/eps)`` checkpoints."""
+    if not 0 < epsilon <= 0.5:
+        raise ValueError("epsilon must lie in (0, 1/2]")
+    return constant / epsilon
+
+
+def predicted_worst_case_moved_volume(
+    epsilon: float, update_size: int, delta: int, constant: float = 4.0
+) -> float:
+    """Lemma 3.6: per-update reallocated volume ``O((1/eps) w + Delta)``."""
+    if not 0 < epsilon <= 0.5:
+        raise ValueError("epsilon must lie in (0, 1/2]")
+    return constant / epsilon * update_size + delta
+
+
+def memory_allocation_lower_bound(num_requests: int, size_ratio: float) -> float:
+    """The classical non-moving lower bound (Luby, Naor, Orda 1996).
+
+    The footprint competitive ratio of any allocator that never moves objects
+    is ``Omega(min(log n, log (largest/smallest request)))``; this returns
+    that expression (base-2 logs, floored at 1) for experiment E3's context
+    column.
+    """
+    if num_requests < 1 or size_ratio < 1:
+        raise ValueError("need num_requests >= 1 and size_ratio >= 1")
+    return max(1.0, min(math.log2(num_requests), math.log2(size_ratio)))

@@ -1,0 +1,68 @@
+"""Command-line entry point: list and run the registered experiments.
+
+Examples
+--------
+
+List everything that can be reproduced::
+
+    python -m repro list
+
+Run the footprint experiment with full-size traces::
+
+    python -m repro run E1 --full
+
+Run every experiment quickly (the same tables the benchmarks print)::
+
+    python -m repro run all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness import EXPERIMENTS, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cost-oblivious storage reallocation (PODS 2014) reproduction harness",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("list", help="list the registered experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment (or 'all')")
+    run_parser.add_argument("experiment", help="experiment id, e.g. E1, F3, or 'all'")
+    run_parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use full-size traces instead of the quick defaults",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        width = max(len(key) for key in EXPERIMENTS)
+        for key in sorted(EXPERIMENTS):
+            experiment = EXPERIMENTS[key]
+            print(f"{key.ljust(width)}  {experiment.title}  [{experiment.paper_reference}]")
+        return 0
+    if args.command == "run":
+        targets = sorted(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
+        for target in targets:
+            result = run_experiment(target, quick=not args.full)
+            print(result.to_text())
+            print()
+        return 0
+    parser.print_help()
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

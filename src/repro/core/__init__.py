@@ -1,0 +1,60 @@
+"""The paper's primary contribution: cost-oblivious storage reallocation.
+
+Contents
+--------
+
+* :mod:`repro.core.size_classes` — power-of-two size-class arithmetic.
+* :mod:`repro.core.base` — the :class:`~repro.core.base.Allocator` interface
+  shared by the paper's reallocators and every baseline, with uniform move /
+  cost accounting.
+* :mod:`repro.core.reallocator` — the Section 2 amortized cost-oblivious
+  reallocator (Theorem 2.1).
+* :mod:`repro.core.checkpointed` — the Section 3.2 variant that completes
+  every buffer flush within ``O(1/eps)`` checkpoints and never overwrites
+  space freed since the last checkpoint (Lemmas 3.1–3.3).
+* :mod:`repro.core.deamortized` — the Section 3.3 variant with worst-case
+  per-update reallocation volume ``O((1/eps) w + Delta)`` (Lemmas 3.4–3.6).
+* :mod:`repro.core.defragmenter` — the Theorem 2.7 cost-oblivious
+  defragmenter / sorter.
+* :mod:`repro.core.invariants` — executable checks of Invariants 2.2–2.4.
+* :mod:`repro.core.layout` — ASCII rendering of the region layout
+  (reproduces Figures 2 and 3).
+"""
+
+from repro.core.base import Allocator, AllocationError
+from repro.core.events import MoveEvent, RequestRecord, FlushRecord
+from repro.core.stats import AllocatorStats
+from repro.core.size_classes import (
+    size_class_of,
+    class_min_size,
+    class_max_size,
+    num_size_classes,
+)
+from repro.core.reallocator import CostObliviousReallocator
+from repro.core.checkpointed import CheckpointedReallocator
+from repro.core.deamortized import DeamortizedReallocator
+from repro.core.defragmenter import Defragmenter, DefragmentationResult
+from repro.core.invariants import check_invariants, InvariantViolation
+from repro.core.layout import render_layout, layout_regions
+
+__all__ = [
+    "Allocator",
+    "AllocationError",
+    "MoveEvent",
+    "RequestRecord",
+    "FlushRecord",
+    "AllocatorStats",
+    "size_class_of",
+    "class_min_size",
+    "class_max_size",
+    "num_size_classes",
+    "CostObliviousReallocator",
+    "CheckpointedReallocator",
+    "DeamortizedReallocator",
+    "Defragmenter",
+    "DefragmentationResult",
+    "check_invariants",
+    "InvariantViolation",
+    "render_layout",
+    "layout_regions",
+]

@@ -1,0 +1,229 @@
+"""The allocator interface shared by the paper's reallocators and baselines.
+
+Every allocator — the cost-oblivious reallocators of Sections 2 and 3, the
+non-moving baselines (First Fit, Best Fit, Buddy, ...) and the moving
+baselines (logging-and-compacting, size-class-gap) — implements the same
+online interface:
+
+* :meth:`Allocator.insert` — serve an ``<INSERTOBJECT, name, length>`` request,
+* :meth:`Allocator.delete` — serve a ``<DELETEOBJECT, name>`` request.
+
+The base class provides uniform bookkeeping so that every experiment charges
+every algorithm identically: an :class:`~repro.storage.address_space.AddressSpace`
+that audits placements for overlaps, an :class:`~repro.core.stats.AllocatorStats`
+with allocation/move histograms, and optional per-request tracing.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Hashable, List, Optional
+
+from repro.core.events import FlushRecord, MoveEvent, RequestRecord
+from repro.core.stats import AllocatorStats
+from repro.storage.address_space import AddressSpace
+from repro.storage.extent import Extent
+
+
+class AllocationError(RuntimeError):
+    """An invalid request: duplicate insert, unknown delete, bad size."""
+
+
+class Allocator(ABC):
+    """Base class for every storage (re)allocator in this library.
+
+    Parameters
+    ----------
+    trace:
+        When True, every request's :class:`~repro.core.events.RequestRecord`
+        (including its individual moves) is retained in :attr:`history`.
+        Leave False for large benchmark runs; the aggregate statistics in
+        :attr:`stats` are always maintained.
+    audit:
+        When True (default) every placement is checked for overlaps against
+        all live objects.  Benchmarks switch this off for very large traces.
+    """
+
+    #: Human-readable identifier used in benchmark tables.
+    name: str = "allocator"
+    #: Whether the algorithm ever moves previously allocated objects.
+    supports_reallocation: bool = False
+
+    def __init__(self, trace: bool = False, audit: bool = True) -> None:
+        self.space = AddressSpace(validate=audit)
+        self.stats = AllocatorStats()
+        self.trace = trace
+        self.history: List[RequestRecord] = []
+        self._sizes: Dict[Hashable, int] = {}
+        self._delta = 0
+        self._current_moves: List[MoveEvent] = []
+        self._current_flush: Optional[FlushRecord] = None
+        self._current_checkpoints = 0
+
+    # ----------------------------------------------------------- properties
+    @property
+    def volume(self) -> int:
+        """Total size of the currently active objects (the paper's ``V``)."""
+        return self.space.volume()
+
+    @property
+    def footprint(self) -> int:
+        """Largest allocated address (the paper's footprint objective)."""
+        return self.space.footprint()
+
+    @property
+    def delta(self) -> int:
+        """Largest object size seen so far (the paper's ``Delta``)."""
+        return self._delta
+
+    @property
+    def num_objects(self) -> int:
+        """Number of currently active objects."""
+        return len(self.space)
+
+    def __contains__(self, name: Hashable) -> bool:
+        return name in self._sizes
+
+    def size_of(self, name: Hashable) -> int:
+        """Size of the active object ``name``."""
+        return self._sizes[name]
+
+    def address_of(self, name: Hashable) -> int:
+        """Current starting address of the active object ``name``."""
+        return self.space.extent_of(name).start
+
+    # ------------------------------------------------------------ requests
+    def insert(self, name: Hashable, size: int) -> RequestRecord:
+        """Serve an insert (malloc) request and return its record."""
+        if size < 1:
+            raise AllocationError(f"object size must be >= 1, got {size}")
+        if name in self._sizes:
+            raise AllocationError(f"object {name!r} is already allocated")
+        self._begin_request()
+        self._sizes[name] = size
+        self._delta = max(self._delta, size)
+        self.stats.record_allocation(size)
+        self.stats.inserts += 1
+        self._do_insert(name, size)
+        return self._finish_request("insert", name, size)
+
+    def delete(self, name: Hashable) -> RequestRecord:
+        """Serve a delete (free) request and return its record."""
+        if name not in self._sizes:
+            raise AllocationError(f"object {name!r} is not allocated")
+        size = self._sizes[name]
+        self._begin_request()
+        self._do_delete(name, size)
+        del self._sizes[name]
+        self.stats.deletes += 1
+        return self._finish_request("delete", name, size)
+
+    def run(self, requests) -> None:
+        """Serve a whole trace of :class:`repro.workloads.base.Request` objects."""
+        for request in requests:
+            if request.is_insert:
+                self.insert(request.name, request.size)
+            else:
+                self.delete(request.name)
+
+    # -------------------------------------------------- subclass obligations
+    @abstractmethod
+    def _do_insert(self, name: Hashable, size: int) -> None:
+        """Place the new object ``name`` somewhere in the address space."""
+
+    @abstractmethod
+    def _do_delete(self, name: Hashable, size: int) -> None:
+        """Release object ``name`` (and possibly reorganise)."""
+
+    # ------------------------------------------------------ helper plumbing
+    def _begin_request(self) -> None:
+        self._current_moves = []
+        self._current_flush = None
+        self._current_checkpoints = 0
+        self.stats.requests += 1
+
+    def _finish_request(self, op: str, name: Hashable, size: int) -> RequestRecord:
+        footprint = self.footprint
+        volume = self.volume
+        self.stats.record_footprint(footprint, volume)
+        moved_volume = sum(m.size for m in self._current_moves if m.is_reallocation)
+        self.stats.max_request_moved_volume = max(
+            self.stats.max_request_moved_volume, moved_volume
+        )
+        self.stats.max_request_checkpoints = max(
+            self.stats.max_request_checkpoints, self._current_checkpoints
+        )
+        if self.stats.request_moved_volumes is not None:
+            self.stats.request_moved_volumes.append(moved_volume)
+        record = RequestRecord(
+            index=self.stats.requests,
+            op=op,
+            name=name,
+            size=size,
+            moves=tuple(self._current_moves),
+            flush=self._current_flush,
+            checkpoints=self._current_checkpoints,
+            footprint_after=footprint,
+            volume_after=volume,
+        )
+        if self.trace:
+            self.history.append(record)
+        return record
+
+    def _place_object(self, name: Hashable, size: int, address: int, reason: str = "place") -> None:
+        """Record the first placement of ``name`` at ``address``."""
+        extent = Extent(address, size)
+        self.space.place(name, extent)
+        self._current_moves.append(
+            MoveEvent(name=name, size=size, source=None, destination=extent, reason=reason)
+        )
+
+    def _size_lookup(self, name: Hashable) -> int:
+        """Size of an object that still occupies space (overridable)."""
+        return self._sizes[name]
+
+    def _move_object(self, name: Hashable, new_address: int, reason: str = "move") -> None:
+        """Record a relocation of ``name`` to ``new_address``."""
+        size = self._size_lookup(name)
+        new_extent = Extent(new_address, size)
+        old_extent = self.space.extent_of(name)
+        if old_extent.start == new_address:
+            return
+        self.space.move(name, new_extent)
+        self.stats.record_move(size)
+        self._current_moves.append(
+            MoveEvent(
+                name=name, size=size, source=old_extent, destination=new_extent, reason=reason
+            )
+        )
+
+    def _free_object(self, name: Hashable) -> Extent:
+        """Remove ``name`` from the address space and return its old extent."""
+        return self.space.remove(name)
+
+    def _note_flush(self, record: FlushRecord) -> None:
+        self.stats.flushes += 1
+        self._current_flush = record
+
+    def _note_checkpoint(self, count: int = 1) -> None:
+        self.stats.checkpoints += count
+        self._current_checkpoints += count
+
+    def _note_transient_footprint(self, footprint: int) -> None:
+        self.stats.record_transient_footprint(footprint)
+
+    # --------------------------------------------------------------- extras
+    def enable_request_tracking(self) -> None:
+        """Start recording the moved volume of every subsequent request."""
+        if self.stats.request_moved_volumes is None:
+            self.stats.request_moved_volumes = []
+
+    def describe(self) -> str:
+        """One-line description used by reports."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} objects={self.num_objects} "
+            f"volume={self.volume} footprint={self.footprint}>"
+        )

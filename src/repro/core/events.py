@@ -1,0 +1,67 @@
+"""Event records emitted by allocators: moves, requests, and flushes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Optional, Sequence, Tuple
+
+from repro.storage.extent import Extent
+
+
+@dataclass(frozen=True)
+class MoveEvent:
+    """One physical relocation of an object.
+
+    ``source`` is ``None`` for the object's very first placement (an
+    allocation, which the competitive analysis charges to the allocation cost
+    rather than the reallocation cost).  ``reason`` is a short tag such as
+    ``"flush:pack"`` or ``"defrag:crunch"`` describing which step of which
+    procedure performed the move.
+    """
+
+    name: Hashable
+    size: int
+    source: Optional[Extent]
+    destination: Extent
+    reason: str = ""
+
+    @property
+    def is_reallocation(self) -> bool:
+        """True if this event moves existing data (source is known)."""
+        return self.source is not None
+
+
+@dataclass(frozen=True)
+class FlushRecord:
+    """Summary of one buffer-flush operation."""
+
+    boundary_class: int
+    classes_flushed: Tuple[int, ...]
+    moved_volume: int
+    move_count: int
+    checkpoints: int = 0
+
+
+@dataclass
+class RequestRecord:
+    """Everything that happened while serving one insert/delete request."""
+
+    index: int
+    op: str
+    name: Hashable
+    size: int
+    moves: Sequence[MoveEvent] = field(default_factory=tuple)
+    flush: Optional[FlushRecord] = None
+    checkpoints: int = 0
+    footprint_after: int = 0
+    volume_after: int = 0
+
+    @property
+    def moved_volume(self) -> int:
+        """Total volume of data relocated while serving this request."""
+        return sum(move.size for move in self.moves if move.is_reallocation)
+
+    @property
+    def move_count(self) -> int:
+        """Number of relocations performed while serving this request."""
+        return sum(1 for move in self.moves if move.is_reallocation)

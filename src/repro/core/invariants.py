@@ -1,0 +1,147 @@
+"""Executable checks of the paper's structural invariants.
+
+Invariant 2.2 of the paper says:
+
+1. the i-th region comprises the i-th payload and i-th buffer segment,
+2. the overflow segment stores elements only temporarily during reallocation,
+3. the i-th payload segment only stores elements from the i-th size class,
+4. the i-th buffer segment only stores elements from size classes <= i,
+
+and Invariant 2.4 pins the segment capacities set by a flush (payload
+capacity equal to the class volume at flush time, buffer capacity an
+``eps'`` fraction of it).  :func:`check_invariants` re-derives all of these
+from a live reallocator plus the Lemma 2.5 space bound, raising
+:class:`InvariantViolation` with a precise message on the first failure.
+The property-based tests call it after every request.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.size_classes import size_class_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.reallocator import CostObliviousReallocator
+
+
+class InvariantViolation(AssertionError):
+    """A structural invariant of the reallocator does not hold."""
+
+
+def check_invariants(reallocator: "CostObliviousReallocator") -> None:
+    """Verify Invariants 2.2–2.4 and the Lemma 2.5 space bound.
+
+    Intended to be called between requests (the paper's invariants are
+    allowed to be violated transiently inside a buffer flush).  For the
+    deamortized variant, the space bound is relaxed by the additive ``Delta``
+    that Lemma 3.5 allows while a flush is in progress.
+    """
+    indices = reallocator.region_indices()
+    flush_in_progress = bool(getattr(reallocator, "flush_in_progress", False))
+
+    # --- region geometry: ordered, contiguous, non-overlapping -------------
+    cursor = 0
+    for index in indices:
+        region = reallocator.region(index)
+        if region.index != index:
+            raise InvariantViolation(f"region keyed {index} reports index {region.index}")
+        if region.start != cursor:
+            raise InvariantViolation(
+                f"region {index} starts at {region.start}, expected {cursor} "
+                "(regions must be contiguous in class order)"
+            )
+        if region.payload_capacity < 0 or region.buffer_capacity < 0:
+            raise InvariantViolation(f"region {index} has negative capacity")
+        cursor = region.end
+
+    # --- payload and buffer contents (Invariant 2.2 items 3 and 4) ---------
+    seen = set()
+    for index in indices:
+        region = reallocator.region(index)
+        payload_volume = 0
+        for name in region.payload:
+            if name in seen:
+                raise InvariantViolation(f"object {name!r} appears in two segments")
+            seen.add(name)
+            size = reallocator.size_of(name)
+            payload_volume += size
+            if size_class_of(size) != index:
+                raise InvariantViolation(
+                    f"payload of region {index} holds {name!r} of class "
+                    f"{size_class_of(size)}"
+                )
+            extent = reallocator.space.extent_of(name)
+            if not flush_in_progress and (
+                extent.start < region.start
+                or extent.end > region.start + region.payload_capacity
+            ):
+                raise InvariantViolation(
+                    f"payload object {name!r} at {extent} escapes region {index}'s "
+                    f"payload segment [{region.start}, {region.start + region.payload_capacity})"
+                )
+        if payload_volume > region.payload_capacity:
+            raise InvariantViolation(
+                f"region {index} payload volume {payload_volume} exceeds capacity "
+                f"{region.payload_capacity}"
+            )
+
+        buffer_volume = 0
+        for entry in region.buffer:
+            buffer_volume += entry.size
+            if entry.size_class > index and not flush_in_progress:
+                # (During a deamortized flush the tail buffer — which accepts
+                # every class — is temporarily folded into the last region.)
+                raise InvariantViolation(
+                    f"buffer of region {index} holds an entry of larger class "
+                    f"{entry.size_class}"
+                )
+            if entry.name is not None:
+                if entry.name in seen:
+                    raise InvariantViolation(
+                        f"object {entry.name!r} appears in two segments"
+                    )
+                seen.add(entry.name)
+                if size_class_of(reallocator.size_of(entry.name)) != entry.size_class:
+                    raise InvariantViolation(
+                        f"buffer entry for {entry.name!r} records the wrong class"
+                    )
+                extent = reallocator.space.extent_of(entry.name)
+                if extent.start < region.buffer_start or extent.end > region.end:
+                    if not flush_in_progress:
+                        raise InvariantViolation(
+                            f"buffered object {entry.name!r} at {extent} escapes "
+                            f"region {index}'s buffer segment"
+                        )
+        if buffer_volume != region.buffer_used:
+            raise InvariantViolation(
+                f"region {index} buffer_used={region.buffer_used} but entries sum "
+                f"to {buffer_volume}"
+            )
+        if not flush_in_progress and region.buffer_used > region.buffer_capacity:
+            raise InvariantViolation(
+                f"region {index} buffer overfull: {region.buffer_used} > "
+                f"{region.buffer_capacity}"
+            )
+
+    # --- every live object accounted for ------------------------------------
+    live = set(reallocator.space)
+    unaccounted = live - seen - set(getattr(reallocator, "_extra_live_names", lambda: set())())
+    if unaccounted and not flush_in_progress:
+        raise InvariantViolation(f"live objects not in any segment: {sorted(map(str, unaccounted))[:5]}")
+
+    # --- pairwise disjoint placements ---------------------------------------
+    reallocator.space.verify_disjoint()
+
+    # --- Lemma 2.5 space bound ----------------------------------------------
+    volume = reallocator.volume
+    if volume > 0:
+        bound = reallocator.space_bound(volume)
+        if flush_in_progress:
+            bound += reallocator.delta + getattr(reallocator, "log_volume", lambda: 0)()
+        reserved = reallocator.bounded_space()
+        if reserved > bound + 1e-9:
+            raise InvariantViolation(
+                f"reserved space {reserved} exceeds the Lemma 2.5 bound {bound:.1f} "
+                f"for volume {volume}"
+            )

@@ -1,0 +1,101 @@
+"""ASCII rendering of the reallocator's region layout.
+
+Reproduces the paper's Figure 2 (payload + buffer segments per size class)
+and, together with the flush tracing in the examples, Figure 3 (a flush
+walk-through) directly from a live data structure rather than as a drawing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.reallocator import CostObliviousReallocator
+
+
+@dataclass(frozen=True)
+class RegionView:
+    """A read-only summary of one region used for rendering and reporting."""
+
+    index: int
+    start: int
+    payload_capacity: int
+    buffer_capacity: int
+    payload_volume: int
+    payload_objects: int
+    buffer_used: int
+    buffer_live_objects: int
+    buffer_delete_records: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.payload_capacity + self.buffer_capacity
+
+
+def layout_regions(reallocator: "CostObliviousReallocator") -> List[RegionView]:
+    """Summarise every region of ``reallocator`` in class order."""
+    views = []
+    for index in reallocator.region_indices():
+        region = reallocator.region(index)
+        payload_volume = sum(reallocator.size_of(name) for name in region.payload)
+        live = sum(1 for entry in region.buffer if entry.name is not None)
+        deletes = sum(1 for entry in region.buffer if entry.name is None)
+        views.append(
+            RegionView(
+                index=index,
+                start=region.start,
+                payload_capacity=region.payload_capacity,
+                buffer_capacity=region.buffer_capacity,
+                payload_volume=payload_volume,
+                payload_objects=len(region.payload),
+                buffer_used=region.buffer_used,
+                buffer_live_objects=live,
+                buffer_delete_records=deletes,
+            )
+        )
+    return views
+
+
+def render_layout(reallocator: "CostObliviousReallocator", width: int = 72) -> str:
+    """Render the address-space layout as ASCII art (one bar per region).
+
+    Payload space is drawn with ``#`` for occupied volume and ``.`` for holes
+    left by deletions; buffer space with ``o`` for live buffered objects,
+    ``x`` for delete records, and ``_`` for free buffer space — the textual
+    analogue of Figure 2's light/dark shading.
+    """
+    views = layout_regions(reallocator)
+    if not views:
+        return "(empty layout)"
+    total = views[-1].end
+    scale = max(total, 1) / max(width, 8)
+    lines = [
+        f"footprint={reallocator.footprint} reserved={reallocator.reserved_space} "
+        f"volume={reallocator.volume}"
+    ]
+    for view in views:
+        payload_cells = max(1, round(view.payload_capacity / scale)) if view.payload_capacity else 0
+        buffer_cells = max(1, round(view.buffer_capacity / scale)) if view.buffer_capacity else 0
+        filled = 0
+        if view.payload_capacity:
+            filled = round(payload_cells * view.payload_volume / view.payload_capacity)
+        payload_bar = "#" * filled + "." * (payload_cells - filled)
+        if view.buffer_capacity:
+            live_cells = round(buffer_cells * view.buffer_used / view.buffer_capacity)
+            dead_cells = (
+                round(live_cells * view.buffer_delete_records / max(1, view.buffer_live_objects + view.buffer_delete_records))
+                if view.buffer_used
+                else 0
+            )
+            buffer_bar = (
+                "o" * (live_cells - dead_cells) + "x" * dead_cells + "_" * (buffer_cells - live_cells)
+            )
+        else:
+            buffer_bar = ""
+        lines.append(
+            f"class {view.index:>2} [{view.start:>8}] |{payload_bar}|{buffer_bar}| "
+            f"payload {view.payload_volume}/{view.payload_capacity} "
+            f"buffer {view.buffer_used}/{view.buffer_capacity}"
+        )
+    return "\n".join(lines)

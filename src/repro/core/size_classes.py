@@ -1,0 +1,44 @@
+"""Power-of-two size-class arithmetic.
+
+The paper groups objects into size classes: *"the i-th size class contains
+objects of size w, where 2^(i-1) <= w < 2^i"*, so there are
+``floor(log2 Delta) + 1`` classes when the largest object has size ``Delta``.
+Classes are 1-indexed throughout this code base to match the paper.
+"""
+
+from __future__ import annotations
+
+
+def size_class_of(size: int) -> int:
+    """Return the 1-indexed size class of a size-``size`` object.
+
+    Class ``i`` covers sizes ``2**(i-1) .. 2**i - 1``; e.g. size 1 is class 1,
+    sizes 2–3 are class 2, sizes 4–7 are class 3.
+    """
+    if size < 1:
+        raise ValueError(f"object sizes must be at least 1, got {size}")
+    return int(size).bit_length()
+
+
+def class_min_size(index: int) -> int:
+    """Smallest object size belonging to class ``index``."""
+    if index < 1:
+        raise ValueError(f"size classes are 1-indexed, got {index}")
+    return 1 << (index - 1)
+
+
+def class_max_size(index: int) -> int:
+    """Largest object size belonging to class ``index``."""
+    if index < 1:
+        raise ValueError(f"size classes are 1-indexed, got {index}")
+    return (1 << index) - 1
+
+
+def num_size_classes(delta: int) -> int:
+    """Number of size classes needed for objects up to size ``delta``.
+
+    Equals ``floor(log2 delta) + 1`` as in the paper.
+    """
+    if delta < 1:
+        raise ValueError(f"delta must be at least 1, got {delta}")
+    return int(delta).bit_length()

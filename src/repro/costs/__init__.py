@@ -1,0 +1,85 @@
+"""Cost-function library for storage reallocation.
+
+The paper analyses reallocators against the class ``F_sa`` of monotonically
+increasing, subadditive cost functions.  This package provides:
+
+* the :class:`~repro.costs.base.CostFunction` interface,
+* a catalogue of standard cost functions (linear, constant, affine, power,
+  logarithmic, capped, block-granular),
+* device-derived cost functions (rotating disk, SSD, RAM),
+* combinators that preserve membership in ``F_sa``, and
+* empirical checkers for monotonicity and subadditivity used by the tests.
+"""
+
+from repro.costs.base import (
+    CostFunction,
+    CostFunctionError,
+    is_monotone,
+    is_subadditive,
+    subadditivity_counterexample,
+    monotonicity_counterexample,
+    validate_cost_function,
+)
+from repro.costs.standard import (
+    LinearCost,
+    ConstantCost,
+    AffineCost,
+    PowerCost,
+    LogCost,
+    CappedLinearCost,
+    BlockCost,
+    PiecewiseLinearConcaveCost,
+)
+from repro.costs.device import (
+    RotatingDiskCost,
+    SolidStateCost,
+    MainMemoryCost,
+    NetworkedStoreCost,
+)
+from repro.costs.composite import (
+    ScaledCost,
+    SumCost,
+    MinCost,
+    TabulatedCost,
+)
+
+#: The cost functions used by the cost-obliviousness experiments (E2).  A
+#: single execution of a reallocator is charged under all of them at once.
+STANDARD_COST_SUITE = (
+    LinearCost(),
+    ConstantCost(),
+    AffineCost(fixed=8.0, per_unit=1.0),
+    PowerCost(exponent=0.5),
+    LogCost(),
+    CappedLinearCost(cap=64.0),
+    RotatingDiskCost(),
+    SolidStateCost(),
+    MainMemoryCost(),
+)
+
+__all__ = [
+    "CostFunction",
+    "CostFunctionError",
+    "is_monotone",
+    "is_subadditive",
+    "subadditivity_counterexample",
+    "monotonicity_counterexample",
+    "validate_cost_function",
+    "LinearCost",
+    "ConstantCost",
+    "AffineCost",
+    "PowerCost",
+    "LogCost",
+    "CappedLinearCost",
+    "BlockCost",
+    "PiecewiseLinearConcaveCost",
+    "RotatingDiskCost",
+    "SolidStateCost",
+    "MainMemoryCost",
+    "NetworkedStoreCost",
+    "ScaledCost",
+    "SumCost",
+    "MinCost",
+    "TabulatedCost",
+    "STANDARD_COST_SUITE",
+]

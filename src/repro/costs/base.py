@@ -1,0 +1,111 @@
+"""Cost-function interface and empirical property checkers.
+
+The paper's competitive analysis holds for every *monotonically increasing,
+subadditive* cost function ``f``: moving or allocating a size-``w`` object
+costs ``f(w)``, with ``f(x + y) <= f(x) + f(y)`` for all positive ``x, y``.
+The reallocation algorithms never evaluate ``f`` — cost functions exist only
+so that experiments can charge an execution after the fact and verify the
+competitive bounds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Iterable, Optional, Sequence, Tuple
+
+
+class CostFunctionError(ValueError):
+    """Raised when a cost function violates the F_sa requirements."""
+
+
+class CostFunction(ABC):
+    """A monotonically increasing, subadditive cost function ``f(w)``.
+
+    Subclasses implement :meth:`cost` for positive integer sizes.  The object
+    is callable, hashable by its :attr:`name`, and renders as its name so it
+    can be used directly as a table column header in reports.
+    """
+
+    #: Short human-readable identifier, e.g. ``"linear"`` or ``"disk"``.
+    name: str = "cost"
+
+    @abstractmethod
+    def cost(self, size: int) -> float:
+        """Return the cost of allocating or moving an object of ``size``."""
+
+    def __call__(self, size: int) -> float:
+        if size <= 0:
+            raise ValueError(f"object sizes must be positive, got {size}")
+        return self.cost(size)
+
+    def total(self, sizes: Iterable[int]) -> float:
+        """Return the summed cost of allocating every size in ``sizes``."""
+        return sum(self(size) for size in sizes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def monotonicity_counterexample(
+    function: CostFunction, sizes: Sequence[int]
+) -> Optional[Tuple[int, int]]:
+    """Return a pair ``(small, large)`` with ``f(small) > f(large)``, if any.
+
+    ``sizes`` is scanned in sorted order; ``None`` means no violation was
+    found on the sampled sizes.
+    """
+    ordered = sorted(set(s for s in sizes if s > 0))
+    for smaller, larger in zip(ordered, ordered[1:]):
+        if function(smaller) > function(larger) + 1e-9:
+            return (smaller, larger)
+    return None
+
+
+def subadditivity_counterexample(
+    function: CostFunction, sizes: Sequence[int]
+) -> Optional[Tuple[int, int]]:
+    """Return a pair ``(x, y)`` with ``f(x + y) > f(x) + f(y)``, if any."""
+    positive = sorted(set(s for s in sizes if s > 0))
+    for x, y in itertools.combinations_with_replacement(positive, 2):
+        if function(x + y) > function(x) + function(y) + 1e-9:
+            return (x, y)
+    return None
+
+
+def is_monotone(function: CostFunction, sizes: Sequence[int]) -> bool:
+    """True if ``function`` is nondecreasing on every sampled size."""
+    return monotonicity_counterexample(function, sizes) is None
+
+
+def is_subadditive(function: CostFunction, sizes: Sequence[int]) -> bool:
+    """True if ``function`` is subadditive on every sampled pair of sizes."""
+    return subadditivity_counterexample(function, sizes) is None
+
+
+def validate_cost_function(
+    function: CostFunction, max_size: int = 256
+) -> None:
+    """Raise :class:`CostFunctionError` if ``function`` leaves F_sa.
+
+    The check is empirical: it samples all sizes up to ``max_size`` for
+    monotonicity and all pairs up to ``max_size`` for subadditivity.  It is
+    used by the test-suite and by :class:`repro.costs.composite.TabulatedCost`
+    to validate user-supplied measurements.
+    """
+    sizes = list(range(1, max_size + 1))
+    bad = monotonicity_counterexample(function, sizes)
+    if bad is not None:
+        raise CostFunctionError(
+            f"{function.name} is not monotonically increasing: "
+            f"f({bad[0]}) > f({bad[1]})"
+        )
+    bad = subadditivity_counterexample(function, sizes)
+    if bad is not None:
+        raise CostFunctionError(
+            f"{function.name} is not subadditive: "
+            f"f({bad[0]} + {bad[1]}) > f({bad[0]}) + f({bad[1]})"
+        )

@@ -1,0 +1,98 @@
+"""Cost functions derived from simulated storage devices.
+
+The paper motivates cost obliviousness by pointing out that the "right" cost
+model differs between RAM, rotating disks and SSDs, and that faithful models
+are hard to pin down.  These classes mirror the timing models in
+:mod:`repro.storage.devices` so the same device can be used both to *drive* a
+simulation (producing elapsed time) and to *charge* an execution after the
+fact.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.costs.base import CostFunction, CostFunctionError
+
+
+class RotatingDiskCost(CostFunction):
+    """Seek plus transfer: ``f(w) = seek_ms + w / bandwidth``.
+
+    Defaults roughly model a 7200 RPM disk with 8 ms average seek and
+    128 units of payload transferred per millisecond.
+    """
+
+    def __init__(self, seek_ms: float = 8.0, units_per_ms: float = 128.0) -> None:
+        if seek_ms < 0 or units_per_ms <= 0:
+            raise CostFunctionError("seek_ms must be >= 0 and units_per_ms > 0")
+        self.seek_ms = seek_ms
+        self.units_per_ms = units_per_ms
+        self.name = "disk"
+
+    def cost(self, size: int) -> float:
+        return self.seek_ms + size / self.units_per_ms
+
+
+class SolidStateCost(CostFunction):
+    """Page-granular flash: ``f(w) = ceil(w / page) * page_cost + issue_cost``.
+
+    Writes must target erased pages, so cost is charged per page touched with
+    a small per-request issue overhead.
+    """
+
+    def __init__(
+        self,
+        page_size: int = 8,
+        page_cost: float = 0.2,
+        issue_cost: float = 0.05,
+    ) -> None:
+        if page_size <= 0 or page_cost <= 0 or issue_cost < 0:
+            raise CostFunctionError("page_size and page_cost must be positive")
+        self.page_size = page_size
+        self.page_cost = page_cost
+        self.issue_cost = issue_cost
+        self.name = "ssd"
+
+    def cost(self, size: int) -> float:
+        return self.issue_cost + math.ceil(size / self.page_size) * self.page_cost
+
+
+class MainMemoryCost(CostFunction):
+    """In-core copying: essentially linear with a tiny per-call overhead."""
+
+    def __init__(self, per_unit: float = 0.001, call_overhead: float = 0.0005) -> None:
+        if per_unit <= 0 or call_overhead < 0:
+            raise CostFunctionError("per_unit must be positive")
+        self.per_unit = per_unit
+        self.call_overhead = call_overhead
+        self.name = "ram"
+
+    def cost(self, size: int) -> float:
+        return self.call_overhead + self.per_unit * size
+
+
+class NetworkedStoreCost(CostFunction):
+    """Remote object store: round-trip latency plus bandwidth, capped batches.
+
+    Requests larger than ``batch`` units are streamed, so the latency term is
+    paid once regardless of size — a strongly subadditive regime where moving
+    one huge object is far cheaper than moving many small ones.
+    """
+
+    def __init__(
+        self,
+        round_trip: float = 2.0,
+        units_per_ms: float = 64.0,
+        batch: int = 1024,
+    ) -> None:
+        if round_trip < 0 or units_per_ms <= 0 or batch <= 0:
+            raise CostFunctionError("invalid network parameters")
+        self.round_trip = round_trip
+        self.units_per_ms = units_per_ms
+        self.batch = batch
+        self.name = "network"
+
+    def cost(self, size: int) -> float:
+        return self.round_trip + min(size, self.batch) / self.units_per_ms + max(
+            0, size - self.batch
+        ) / (self.units_per_ms * 4)

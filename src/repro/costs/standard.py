@@ -1,0 +1,169 @@
+"""Standard analytic cost functions.
+
+Every class here is monotonically increasing and subadditive, i.e. a member
+of the class ``F_sa`` the paper's guarantees cover.  The two extremes the
+paper keeps returning to are :class:`LinearCost` (``f(w) = w``, the RAM /
+garbage-collection model) and :class:`ConstantCost` (``f(w) = 1``, the
+seek-dominated model); everything realistic lies between them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.costs.base import CostFunction, CostFunctionError
+
+
+class LinearCost(CostFunction):
+    """``f(w) = per_unit * w`` — moving data costs bandwidth only."""
+
+    def __init__(self, per_unit: float = 1.0) -> None:
+        if per_unit <= 0:
+            raise CostFunctionError("per_unit must be positive")
+        self.per_unit = per_unit
+        self.name = "linear" if per_unit == 1.0 else f"linear({per_unit:g})"
+
+    def cost(self, size: int) -> float:
+        return self.per_unit * size
+
+
+class ConstantCost(CostFunction):
+    """``f(w) = value`` — every move costs the same (pure seek model)."""
+
+    def __init__(self, value: float = 1.0) -> None:
+        if value <= 0:
+            raise CostFunctionError("value must be positive")
+        self.value = value
+        self.name = "constant" if value == 1.0 else f"constant({value:g})"
+
+    def cost(self, size: int) -> float:
+        return self.value
+
+
+class AffineCost(CostFunction):
+    """``f(w) = fixed + per_unit * w`` — a seek plus a transfer.
+
+    This is the textbook model for a rotating disk and is subadditive because
+    the fixed term is paid once on the left-hand side of ``f(x + y)`` but
+    twice on the right-hand side.
+    """
+
+    def __init__(self, fixed: float = 1.0, per_unit: float = 1.0) -> None:
+        if fixed < 0 or per_unit < 0 or (fixed == 0 and per_unit == 0):
+            raise CostFunctionError("fixed and per_unit must be nonnegative, not both zero")
+        self.fixed = fixed
+        self.per_unit = per_unit
+        self.name = f"affine({fixed:g}+{per_unit:g}w)"
+
+    def cost(self, size: int) -> float:
+        return self.fixed + self.per_unit * size
+
+
+class PowerCost(CostFunction):
+    """``f(w) = scale * w**exponent`` with ``exponent <= 1`` (concave)."""
+
+    def __init__(self, exponent: float = 0.5, scale: float = 1.0) -> None:
+        if not 0 < exponent <= 1:
+            raise CostFunctionError("exponent must lie in (0, 1] to stay subadditive")
+        if scale <= 0:
+            raise CostFunctionError("scale must be positive")
+        self.exponent = exponent
+        self.scale = scale
+        self.name = f"power({exponent:g})"
+
+    def cost(self, size: int) -> float:
+        return self.scale * size**self.exponent
+
+
+class LogCost(CostFunction):
+    """``f(w) = scale * log2(1 + w)`` — grows, but far slower than linear."""
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise CostFunctionError("scale must be positive")
+        self.scale = scale
+        self.name = "log"
+
+    def cost(self, size: int) -> float:
+        return self.scale * math.log2(1.0 + size)
+
+
+class CappedLinearCost(CostFunction):
+    """``f(w) = min(w, cap)`` — linear until the device saturates."""
+
+    def __init__(self, cap: float = 64.0, per_unit: float = 1.0) -> None:
+        if cap <= 0 or per_unit <= 0:
+            raise CostFunctionError("cap and per_unit must be positive")
+        self.cap = cap
+        self.per_unit = per_unit
+        self.name = f"capped({cap:g})"
+
+    def cost(self, size: int) -> float:
+        return min(self.per_unit * size, self.cap)
+
+
+class BlockCost(CostFunction):
+    """``f(w) = ceil(w / block) * per_block`` — block-granular devices.
+
+    Rounding the transferred volume up to whole blocks preserves both
+    monotonicity and subadditivity because ``ceil((x+y)/b) <= ceil(x/b) +
+    ceil(y/b)``.
+    """
+
+    def __init__(self, block: int = 16, per_block: float = 1.0) -> None:
+        if block <= 0 or per_block <= 0:
+            raise CostFunctionError("block and per_block must be positive")
+        self.block = block
+        self.per_block = per_block
+        self.name = f"block({block})"
+
+    def cost(self, size: int) -> float:
+        return math.ceil(size / self.block) * self.per_block
+
+
+class PiecewiseLinearConcaveCost(CostFunction):
+    """A concave piecewise-linear function given by its breakpoints.
+
+    ``points`` is a sequence of ``(size, cost)`` pairs with strictly
+    increasing sizes and nondecreasing costs.  The function is extended
+    through the origin: below the first breakpoint the cost is interpolated
+    from ``(0, 0)``, between breakpoints it is interpolated linearly, and
+    beyond the last breakpoint it is extrapolated with the final slope.  The
+    constructor verifies that this extension is concave (nonincreasing
+    slopes, including the implicit origin segment), which together with
+    ``f(0) = 0`` and monotonicity implies subadditivity.
+    """
+
+    def __init__(self, points: Sequence[Tuple[float, float]]) -> None:
+        if not points:
+            raise CostFunctionError("need at least one breakpoint")
+        xs = [float(x) for x, _ in points]
+        ys = [float(y) for _, y in points]
+        if any(b <= a for a, b in zip(xs, xs[1:])):
+            raise CostFunctionError("breakpoint sizes must be strictly increasing")
+        if any(b < a for a, b in zip(ys, ys[1:])):
+            raise CostFunctionError("breakpoint costs must be nondecreasing")
+        if xs[0] <= 0 or ys[0] <= 0:
+            raise CostFunctionError("breakpoints must be positive")
+        full_xs = [0.0] + xs
+        full_ys = [0.0] + ys
+        slopes = [
+            (y2 - y1) / (x2 - x1)
+            for x1, y1, x2, y2 in zip(full_xs, full_ys, full_xs[1:], full_ys[1:])
+        ]
+        if any(s2 > s1 + 1e-12 for s1, s2 in zip(slopes, slopes[1:])):
+            raise CostFunctionError(
+                "breakpoints (extended through the origin) must be concave"
+            )
+        self._xs = full_xs
+        self._ys = full_ys
+        self._slopes = slopes
+        self.name = "piecewise"
+
+    def cost(self, size: int) -> float:
+        xs, ys = self._xs, self._ys
+        for i in range(len(xs) - 1):
+            if size <= xs[i + 1]:
+                return ys[i] + self._slopes[i] * (size - xs[i])
+        return ys[-1] + self._slopes[-1] * (size - xs[-1])

@@ -1,0 +1,18 @@
+"""Experiment harness: one registered experiment per paper artefact.
+
+``repro.harness.EXPERIMENTS`` maps experiment ids (``"E1"`` ... ``"E9"``,
+``"F2"``, ``"F3"``) to runnable experiments; each returns an
+:class:`~repro.harness.results.ExperimentResult` whose table is printed by
+the corresponding benchmark in ``benchmarks/`` and by the CLI.
+"""
+
+from repro.harness.results import ExperimentResult
+from repro.harness.experiments import EXPERIMENTS, Experiment, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "Experiment",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,56 @@
+"""Experiment registry mapping ids to runnable experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.harness import runners
+from repro.harness.results import ExperimentResult
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment: an id, what it reproduces, and a runner."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    run: Callable[[bool], ExperimentResult]
+
+    def __call__(self, quick: bool = True) -> ExperimentResult:
+        return self.run(quick)
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    experiment.experiment_id: experiment
+    for experiment in (
+        Experiment("E1", "Footprint competitiveness vs epsilon", "Theorem 2.1 / Lemma 2.5", runners.run_e1_footprint),
+        Experiment("E2", "Cost obliviousness across cost functions", "Theorem 2.1 / Lemma 2.6", runners.run_e2_cost_obliviousness),
+        Experiment("E3", "Baseline allocator comparison", "Section 1 and Section 2 intuition", runners.run_e3_baselines),
+        Experiment("E4", "Cost-oblivious defragmentation", "Theorem 2.7", runners.run_e4_defragmentation),
+        Experiment("E5", "Checkpoints per flush", "Lemma 3.3", runners.run_e5_checkpoints),
+        Experiment("E6", "Transient footprint during flushes", "Lemmas 3.1 and 3.5", runners.run_e6_transient_footprint),
+        Experiment("E7", "Worst-case per-update reallocation", "Lemma 3.6", runners.run_e7_worst_case),
+        Experiment("E8", "Lower-bound instance", "Lemma 3.7", runners.run_e8_lower_bound),
+        Experiment("E9", "Throughput and scaling", "engineering", runners.run_e9_scaling),
+        Experiment("F1", "Reallocation closes holes", "Figure 1", runners.run_f1_motivation),
+        Experiment("F2", "Size-class layout", "Figure 2", runners.run_f2_layout),
+        Experiment("F3", "Buffer-flush walkthrough", "Figure 3", runners.run_f3_flush_walkthrough),
+        Experiment("F4", "Footprint over time", "supplementary figure", runners.run_footprint_series),
+    )
+}
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id (case-insensitive)."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return EXPERIMENTS[key]
+
+
+def run_experiment(experiment_id: str, quick: bool = True) -> ExperimentResult:
+    """Run one experiment and return its result."""
+    return get_experiment(experiment_id)(quick)

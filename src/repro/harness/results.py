@@ -1,0 +1,37 @@
+"""Result container shared by all experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.metrics.report import ascii_table
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: a table plus free-form notes.
+
+    ``rows`` are kept as raw values (not strings) so tests can make numeric
+    assertions against exactly what the benchmark prints.
+    """
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: Machine-readable extras (per-experiment; used by tests).
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """The table and notes as printed by the benchmarks and the CLI."""
+        parts = [ascii_table(self.headers, self.rows, title=f"{self.experiment_id}: {self.title}")]
+        for note in self.notes:
+            parts.append(note)
+        return "\n".join(parts)
+
+    def column(self, header: str) -> List[object]:
+        """All values of one column, for assertions in tests."""
+        index = list(self.headers).index(header)
+        return [row[index] for row in self.rows]

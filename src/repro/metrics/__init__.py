@@ -1,0 +1,18 @@
+"""Measurement, charging, and reporting utilities."""
+
+from repro.metrics.collector import ExecutionMetrics, run_trace
+from repro.metrics.report import ascii_table, format_ratio, render_series
+from repro.metrics.competitive import (
+    footprint_competitive_ratio,
+    cost_competitive_ratio,
+)
+
+__all__ = [
+    "ExecutionMetrics",
+    "run_trace",
+    "ascii_table",
+    "format_ratio",
+    "render_series",
+    "footprint_competitive_ratio",
+    "cost_competitive_ratio",
+]

@@ -1,0 +1,126 @@
+"""Run a trace against an allocator and collect the paper's metrics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.base import Allocator
+from repro.costs.base import CostFunction
+from repro.workloads.base import Trace
+
+
+@dataclass
+class ExecutionMetrics:
+    """Everything measured while replaying one trace on one allocator.
+
+    The two headline numbers are :attr:`max_footprint_ratio` (the paper's
+    ``a``: largest footprint divided by live volume, over all requests) and
+    :attr:`cost_ratios` (the paper's ``b`` per cost function: reallocation
+    cost divided by mandatory allocation cost).
+    """
+
+    allocator: str
+    trace: str
+    requests: int
+    elapsed_seconds: float
+    final_volume: int
+    final_footprint: int
+    max_footprint: int
+    max_footprint_ratio: float
+    mean_footprint_ratio: float
+    total_moves: int
+    total_moved_volume: int
+    moves_per_insert: float
+    max_request_moved_volume: int
+    max_request_checkpoints: int
+    total_checkpoints: int
+    flushes: int
+    cost_ratios: Dict[str, float] = field(default_factory=dict)
+    footprint_series: List[int] = field(default_factory=list)
+    volume_series: List[int] = field(default_factory=list)
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.requests / self.elapsed_seconds
+
+    def summary_row(self, cost_names: Optional[Sequence[str]] = None) -> List[str]:
+        """A table row (strings) for the benchmark reports."""
+        names = list(cost_names) if cost_names is not None else sorted(self.cost_ratios)
+        row = [
+            self.allocator,
+            f"{self.max_footprint_ratio:.3f}",
+            f"{self.moves_per_insert:.2f}",
+        ]
+        row.extend(f"{self.cost_ratios.get(name, 0.0):.2f}" for name in names)
+        return row
+
+
+def run_trace(
+    allocator: Allocator,
+    trace: Trace,
+    cost_functions: Sequence[CostFunction] = (),
+    sample_every: int = 0,
+    finish_pending: bool = True,
+) -> ExecutionMetrics:
+    """Replay ``trace`` on ``allocator`` and return the collected metrics.
+
+    Parameters
+    ----------
+    cost_functions:
+        Cost functions to charge the execution under (after the fact — the
+        allocator never sees them, which is the whole point of cost
+        obliviousness).
+    sample_every:
+        If positive, record the footprint and volume every that many requests
+        (used to regenerate the footprint-over-time figure).
+    finish_pending:
+        Drive any deamortized flush to completion at the end so final volumes
+        and invariants are comparable across allocators.
+    """
+    ratio_sum = 0.0
+    ratio_count = 0
+    footprint_series: List[int] = []
+    volume_series: List[int] = []
+
+    start = time.perf_counter()
+    for index, request in enumerate(trace):
+        if request.is_insert:
+            record = allocator.insert(request.name, request.size)
+        else:
+            record = allocator.delete(request.name)
+        if record.volume_after > 0:
+            ratio_sum += record.footprint_after / record.volume_after
+            ratio_count += 1
+        if sample_every and index % sample_every == 0:
+            footprint_series.append(record.footprint_after)
+            volume_series.append(record.volume_after)
+    if finish_pending and hasattr(allocator, "finish_pending_work"):
+        allocator.finish_pending_work()
+    elapsed = time.perf_counter() - start
+
+    stats = allocator.stats
+    return ExecutionMetrics(
+        allocator=allocator.describe(),
+        trace=trace.label,
+        requests=len(trace),
+        elapsed_seconds=elapsed,
+        final_volume=allocator.volume,
+        final_footprint=allocator.footprint,
+        max_footprint=stats.max_footprint,
+        max_footprint_ratio=stats.max_footprint_ratio,
+        mean_footprint_ratio=ratio_sum / ratio_count if ratio_count else 0.0,
+        total_moves=stats.total_moves,
+        total_moved_volume=stats.total_moved_volume,
+        moves_per_insert=stats.amortized_moves_per_insert,
+        max_request_moved_volume=stats.max_request_moved_volume,
+        max_request_checkpoints=stats.max_request_checkpoints,
+        total_checkpoints=stats.checkpoints,
+        flushes=stats.flushes,
+        cost_ratios={f.name: stats.cost_ratio(f) for f in cost_functions},
+        footprint_series=footprint_series,
+        volume_series=volume_series,
+    )

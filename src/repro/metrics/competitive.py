@@ -1,0 +1,34 @@
+"""Competitive-ratio computations matching the paper's definitions."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.stats import AllocatorStats
+from repro.costs.base import CostFunction
+
+
+def footprint_competitive_ratio(footprints: Sequence[int], volumes: Sequence[int]) -> float:
+    """Largest footprint/volume ratio over a paired series (the paper's ``a``).
+
+    The optimum footprint at any time is exactly the live volume (everything
+    packed into a prefix), so the competitive ratio is the worst observed
+    footprint divided by the volume at that same time.
+    """
+    if len(footprints) != len(volumes):
+        raise ValueError("footprint and volume series must have equal length")
+    worst = 0.0
+    for footprint, volume in zip(footprints, volumes):
+        if volume > 0:
+            worst = max(worst, footprint / volume)
+    return worst
+
+
+def cost_competitive_ratio(stats: AllocatorStats, cost_function: CostFunction) -> float:
+    """Reallocation cost over allocation cost (the paper's ``b``).
+
+    The paper charges the reallocator against the sum of allocation costs of
+    every object inserted so far — a lower bound on any algorithm's total
+    cost, since each object must be written at least once.
+    """
+    return stats.cost_ratio(cost_function)

@@ -1,0 +1,168 @@
+"""An arbitrarily large linear address space with overlap detection.
+
+The reallocators in :mod:`repro.core` mirror every placement into an
+:class:`AddressSpace`.  Its two jobs are to *audit* the algorithms — raising
+:class:`OverlapError` whenever two live objects would occupy the same
+addresses — and to answer footprint queries (the paper's objective: the
+largest allocated address).
+
+Footprint and volume are maintained incrementally (lazy max-heap of extent
+end addresses plus a running volume counter) so per-request accounting stays
+cheap even for million-request traces.  Overlap auditing is a linear scan per
+placement; it is enabled by default and switched off by the benchmark harness
+for very large runs (``validate=False``), where the algorithm-level tests
+have already established correctness.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import Counter
+from typing import Dict, Hashable, Iterator, List, Optional, Tuple
+
+from repro.storage.extent import Extent
+
+
+class OverlapError(RuntimeError):
+    """Two live objects were placed on overlapping addresses."""
+
+
+class AddressSpace:
+    """Tracks which extent every live object occupies.
+
+    Parameters
+    ----------
+    validate:
+        When True (default) every placement and move is checked against all
+        live extents and :class:`OverlapError` is raised on a clash.  When
+        False the check is skipped (used for large benchmark runs).
+    """
+
+    def __init__(self, validate: bool = True) -> None:
+        self.validate = validate
+        self._extents: Dict[Hashable, Extent] = {}
+        self._volume = 0
+        self._end_counts: Counter = Counter()
+        self._end_heap: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    def __contains__(self, name: Hashable) -> bool:
+        return name in self._extents
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._extents)
+
+    def extent_of(self, name: Hashable) -> Extent:
+        """Return the extent occupied by ``name`` (KeyError if absent)."""
+        return self._extents[name]
+
+    def items(self) -> Iterator[Tuple[Hashable, Extent]]:
+        return iter(self._extents.items())
+
+    # -------------------------------------------------------------- internal
+    def _find_overlap(
+        self, extent: Extent, ignore: Optional[Hashable] = None
+    ) -> Optional[Hashable]:
+        for name, existing in self._extents.items():
+            if name == ignore:
+                continue
+            if existing.overlaps(extent):
+                return name
+        return None
+
+    def _track_end(self, end: int) -> None:
+        self._end_counts[end] += 1
+        heapq.heappush(self._end_heap, -end)
+
+    def _untrack_end(self, end: int) -> None:
+        remaining = self._end_counts[end] - 1
+        if remaining:
+            self._end_counts[end] = remaining
+        else:
+            del self._end_counts[end]
+
+    # ------------------------------------------------------------ mutation
+    def place(self, name: Hashable, extent: Extent) -> None:
+        """Place a new object; raises if the name exists or addresses clash."""
+        if name in self._extents:
+            raise KeyError(f"object {name!r} is already placed")
+        if self.validate:
+            clash = self._find_overlap(extent)
+            if clash is not None:
+                raise OverlapError(
+                    f"placing {name!r} at {extent} overlaps {clash!r} at "
+                    f"{self._extents[clash]}"
+                )
+        self._extents[name] = extent
+        self._volume += extent.length
+        self._track_end(extent.end)
+
+    def move(self, name: Hashable, extent: Extent) -> Extent:
+        """Move an existing object to ``extent``; returns the old extent."""
+        if name not in self._extents:
+            raise KeyError(f"object {name!r} is not placed")
+        if self.validate:
+            clash = self._find_overlap(extent, ignore=name)
+            if clash is not None:
+                raise OverlapError(
+                    f"moving {name!r} to {extent} overlaps {clash!r} at "
+                    f"{self._extents[clash]}"
+                )
+        old = self._extents[name]
+        self._extents[name] = extent
+        self._volume += extent.length - old.length
+        self._untrack_end(old.end)
+        self._track_end(extent.end)
+        return old
+
+    def remove(self, name: Hashable) -> Extent:
+        """Remove an object and return the extent it used to occupy."""
+        extent = self._extents.pop(name)
+        self._volume -= extent.length
+        self._untrack_end(extent.end)
+        return extent
+
+    # -------------------------------------------------------------- queries
+    def footprint(self) -> int:
+        """Largest allocated address (the paper's footprint objective)."""
+        heap = self._end_heap
+        counts = self._end_counts
+        while heap and -heap[0] not in counts:
+            heapq.heappop(heap)
+        return -heap[0] if heap else 0
+
+    def volume(self) -> int:
+        """Total size of live objects (the paper's ``V``)."""
+        return self._volume
+
+    def utilization(self) -> float:
+        """Volume divided by footprint (1.0 means a perfectly packed prefix)."""
+        footprint = self.footprint()
+        if footprint == 0:
+            return 1.0
+        return self._volume / footprint
+
+    def free_gaps(self) -> List[Extent]:
+        """Return the maximal free extents below the footprint."""
+        gaps: List[Extent] = []
+        cursor = 0
+        for extent in sorted(self._extents.values(), key=lambda e: e.start):
+            if extent.start > cursor:
+                gaps.append(Extent(cursor, extent.start - cursor))
+            cursor = max(cursor, extent.end)
+        return gaps
+
+    def verify_disjoint(self) -> None:
+        """Exhaustively re-check that all live extents are pairwise disjoint."""
+        ordered = sorted(self._extents.items(), key=lambda item: item[1].start)
+        for (name_a, ext_a), (name_b, ext_b) in zip(ordered, ordered[1:]):
+            if ext_a.end > ext_b.start:
+                raise OverlapError(
+                    f"{name_a!r} at {ext_a} overlaps {name_b!r} at {ext_b}"
+                )
+
+    def snapshot(self) -> Dict[Hashable, Extent]:
+        """A copy of the current name -> extent mapping."""
+        return dict(self._extents)

@@ -1,0 +1,83 @@
+"""Checkpoint manager enforcing the durability rule of Section 3.1.
+
+When an object is moved, the logical-to-physical map changes; until the next
+checkpoint persists that map, the *old* copy of the object must remain intact
+so a crash can recover it.  Consequently an allocator may not write into any
+address range that was freed (by a delete or by a move away from it) after
+the most recent checkpoint.
+
+:class:`CheckpointManager` records freed extents, raises
+:class:`FreedSpaceViolation` if an algorithm writes into one of them, and
+exposes counters used by experiment E5 (checkpoints per flush, Lemma 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.storage.extent import Extent, coalesce
+
+
+class FreedSpaceViolation(RuntimeError):
+    """An algorithm wrote into space freed since the last checkpoint."""
+
+
+class CheckpointManager:
+    """Tracks freed-but-not-yet-checkpointed space and checkpoint counts.
+
+    Parameters
+    ----------
+    enforce:
+        If True (default), :meth:`assert_writable` raises on violations.  The
+        checkpointed reallocator is always run with enforcement on in tests;
+        turning it off lets experiments measure how often a *non*-compliant
+        algorithm would have violated durability.
+    """
+
+    def __init__(self, enforce: bool = True) -> None:
+        self.enforce = enforce
+        self._frozen: List[Extent] = []
+        self.checkpoints_taken = 0
+        self.violations = 0
+
+    # ------------------------------------------------------------------ API
+    def record_free(self, extent: Extent) -> None:
+        """Mark ``extent`` as freed since the last checkpoint."""
+        self._frozen.append(extent)
+        if len(self._frozen) > 64:
+            self._frozen = coalesce(self._frozen)
+
+    def frozen_extents(self) -> List[Extent]:
+        """The extents currently unwritable because they await a checkpoint."""
+        self._frozen = coalesce(self._frozen)
+        return list(self._frozen)
+
+    def is_writable(self, extent: Extent) -> bool:
+        """True if ``extent`` does not intersect any frozen extent."""
+        return all(not extent.overlaps(frozen) for frozen in self._frozen)
+
+    def assert_writable(self, extent: Extent, context: Optional[str] = None) -> None:
+        """Raise :class:`FreedSpaceViolation` if ``extent`` is frozen."""
+        if self.is_writable(extent):
+            return
+        self.violations += 1
+        if self.enforce:
+            suffix = f" ({context})" if context else ""
+            raise FreedSpaceViolation(
+                f"write to {extent} intersects space freed since the last "
+                f"checkpoint{suffix}"
+            )
+
+    def checkpoint(self) -> int:
+        """Persist the translation map: all frozen space becomes reusable.
+
+        Returns the total number of checkpoints taken so far.
+        """
+        self._frozen.clear()
+        self.checkpoints_taken += 1
+        return self.checkpoints_taken
+
+    def reset_counters(self) -> None:
+        """Zero the checkpoint and violation counters (frozen space kept)."""
+        self.checkpoints_taken = 0
+        self.violations = 0

@@ -1,0 +1,62 @@
+"""Extent arithmetic: half-open integer intervals of the address space."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+
+@dataclass(frozen=True, order=True)
+class Extent:
+    """A half-open interval ``[start, start + length)`` of addresses."""
+
+    start: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"extent start must be nonnegative, got {self.start}")
+        if self.length <= 0:
+            raise ValueError(f"extent length must be positive, got {self.length}")
+
+    @property
+    def end(self) -> int:
+        """One past the last address covered by this extent."""
+        return self.start + self.length
+
+    def overlaps(self, other: "Extent") -> bool:
+        """True if the two extents share at least one address."""
+        return self.start < other.end and other.start < self.end
+
+    def contains(self, address: int) -> bool:
+        """True if ``address`` falls inside this extent."""
+        return self.start <= address < self.end
+
+    def contains_extent(self, other: "Extent") -> bool:
+        """True if ``other`` lies entirely inside this extent."""
+        return self.start <= other.start and other.end <= self.end
+
+    def shifted(self, delta: int) -> "Extent":
+        """Return a copy moved by ``delta`` addresses."""
+        return Extent(self.start + delta, self.length)
+
+    def __str__(self) -> str:
+        return f"[{self.start}, {self.end})"
+
+
+def coalesce(extents: Iterable[Extent]) -> List[Extent]:
+    """Merge overlapping or adjacent extents into a minimal sorted list."""
+    ordered = sorted(extents, key=lambda e: e.start)
+    merged: List[Extent] = []
+    for extent in ordered:
+        if merged and extent.start <= merged[-1].end:
+            last = merged[-1]
+            merged[-1] = Extent(last.start, max(last.end, extent.end) - last.start)
+        else:
+            merged.append(extent)
+    return merged
+
+
+def total_length(extents: Iterable[Extent]) -> int:
+    """Total number of distinct addresses covered by ``extents``."""
+    return sum(extent.length for extent in coalesce(extents))

@@ -1,0 +1,62 @@
+"""Workload generation: online insert/delete request traces.
+
+The paper's model is an online sequence of ``<INSERTOBJECT, name, length>``
+and ``<DELETEOBJECT, name>`` requests.  This package provides the request /
+trace datatypes, synthetic generators (steady-state churn, grow–shrink,
+database-style block traffic) over several size distributions, adversarial
+sequences (including the Lemma 3.7 lower-bound instance), and plain-text
+trace recording / replay.
+"""
+
+from repro.workloads.base import Request, Trace, trace_from_pairs
+from repro.workloads.sizes import (
+    SizeDistribution,
+    UniformSizes,
+    FixedSizes,
+    PowerOfTwoSizes,
+    ZipfSizes,
+    BimodalSizes,
+    DatabaseBlockSizes,
+)
+from repro.workloads.synthetic import (
+    churn_trace,
+    grow_then_shrink_trace,
+    sliding_window_trace,
+    database_trace,
+)
+from repro.workloads.adversarial import (
+    lower_bound_trace,
+    large_then_small_trace,
+    repeated_large_delete_trace,
+    small_flood_trace,
+    descending_powers_trace,
+    fragmentation_attack_trace,
+    sawtooth_trace,
+)
+from repro.workloads.replay import save_trace, load_trace
+
+__all__ = [
+    "Request",
+    "Trace",
+    "trace_from_pairs",
+    "SizeDistribution",
+    "UniformSizes",
+    "FixedSizes",
+    "PowerOfTwoSizes",
+    "ZipfSizes",
+    "BimodalSizes",
+    "DatabaseBlockSizes",
+    "churn_trace",
+    "grow_then_shrink_trace",
+    "sliding_window_trace",
+    "database_trace",
+    "lower_bound_trace",
+    "large_then_small_trace",
+    "repeated_large_delete_trace",
+    "small_flood_trace",
+    "descending_powers_trace",
+    "fragmentation_attack_trace",
+    "sawtooth_trace",
+    "save_trace",
+    "load_trace",
+]

@@ -1,0 +1,197 @@
+"""Adversarial request sequences from the paper's arguments and lower bounds."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.workloads.base import Request, Trace
+
+
+def lower_bound_trace(delta: int, label: Optional[str] = None) -> Trace:
+    """The Lemma 3.7 lower-bound instance.
+
+    Insert one size-``delta`` object, then ``delta`` size-1 objects, then
+    delete the large object.  Any reallocator maintaining a ``1.5 V``
+    footprint must either move the large object (cost ``f(delta)``) or move
+    ``Omega(delta)`` small objects when the large one is deleted (cost
+    ``Omega(delta f(1)) ⊆ Omega(f(delta))`` for subadditive ``f``).
+    """
+    if delta < 1:
+        raise ValueError("delta must be at least 1")
+    requests: List[Request] = [Request.insert("big", delta)]
+    requests.extend(Request.insert(f"small-{i}", 1) for i in range(delta))
+    requests.append(Request.delete("big"))
+    return Trace(requests, label or f"lower-bound(delta={delta})")
+
+
+def large_then_small_trace(
+    delta: int,
+    rounds: int = 8,
+    small_size: int = 1,
+    label: Optional[str] = None,
+) -> Trace:
+    """Repeatedly delete large objects and refill with small ones.
+
+    The counterexample from the Section 2 intuition: for logging-and-
+    compacting under a *constant* cost function, every round forces a
+    compaction that moves ``Theta(delta / small_size)`` small objects to
+    recover the hole left by one large deletion, so the amortized cost per
+    delete is ``Theta(delta)`` while the optimum is ``O(1)``.
+    """
+    if delta < 1 or rounds < 1 or small_size < 1 or small_size > delta:
+        raise ValueError("invalid parameters")
+    requests: List[Request] = []
+    small_count = delta // small_size
+    requests.extend(Request.insert(f"big-{r}", delta) for r in range(rounds))
+    next_small = 0
+    for r in range(rounds):
+        requests.append(Request.delete(f"big-{r}"))
+        for _ in range(small_count):
+            requests.append(Request.insert(f"small-{next_small}", small_size))
+            next_small += 1
+    return Trace(requests, label or f"large-then-small(delta={delta},rounds={rounds})")
+
+
+def repeated_large_delete_trace(
+    delta: int,
+    rounds: Optional[int] = None,
+    label: Optional[str] = None,
+) -> Trace:
+    """Adversary for logging-and-compacting under constant (seek) costs.
+
+    Each round inserts one size-``delta`` object, then one size-1 object, then
+    deletes the large object again.  The large deletion leaves a hole in
+    front of the growing population of small objects, so a logging-and-
+    compacting allocator keeps compacting all of the small objects: under a
+    constant cost function its reallocation cost per round is proportional to
+    the number of small objects while the allocation cost per round is
+    ``O(1)``, so the cost ratio grows linearly with ``delta`` — the Section 2
+    counterexample.  (The default ``rounds = delta - 1`` keeps the small
+    population just below ``delta`` so every round stays above the compaction
+    threshold.)
+    """
+    if delta < 2:
+        raise ValueError("delta must be at least 2")
+    if rounds is None:
+        rounds = delta - 1
+    if rounds < 1:
+        raise ValueError("rounds must be at least 1")
+    requests: List[Request] = []
+    for r in range(rounds):
+        requests.append(Request.insert(f"big-{r}", delta))
+        requests.append(Request.insert(f"small-{r}", 1))
+        requests.append(Request.delete(f"big-{r}"))
+    return Trace(requests, label or f"repeated-large-delete(delta={delta},rounds={rounds})")
+
+
+def small_flood_trace(
+    max_exponent: int,
+    small_count: Optional[int] = None,
+    label: Optional[str] = None,
+) -> Trace:
+    """Adversary for the size-class-gap scheme under linear (bandwidth) costs.
+
+    One object of every power-of-two size from ``2**max_exponent`` down to 2
+    is inserted first (so every size class is occupied and tightly packed),
+    followed by a long flood of size-1 insertions.  In the size-class-gap
+    scheme each small insertion that finds no slack displaces one object from
+    each larger class; amortized over the flood the moved volume per unit
+    inserted is ``Theta(log Delta)``, so its linear-cost competitive ratio
+    grows with ``log Delta`` — whereas the cost-oblivious reallocator's stays
+    a constant independent of ``Delta``.
+    """
+    if max_exponent < 1:
+        raise ValueError("max_exponent must be at least 1")
+    if small_count is None:
+        small_count = 4 << max_exponent
+    requests: List[Request] = [
+        Request.insert(f"seed-{exponent}", 1 << exponent)
+        for exponent in range(max_exponent, 0, -1)
+    ]
+    requests.extend(Request.insert(f"unit-{i}", 1) for i in range(small_count))
+    return Trace(requests, label or f"small-flood(k={max_exponent},n={small_count})")
+
+
+def descending_powers_trace(
+    max_exponent: int,
+    waves: int = 4,
+    label: Optional[str] = None,
+) -> Trace:
+    """Adversary for the size-class-gap scheme under linear (bandwidth) costs.
+
+    Each wave inserts one object of every power-of-two size from the largest
+    down to the smallest and then deletes them all.  Inserting a smaller
+    class when every larger class sits flush against it displaces one object
+    from *each* larger class, so the moved volume per insert is
+    ``Theta(Delta)`` and the linear-cost ratio grows like ``log Delta`` —
+    while the cost-oblivious reallocator stays at a constant.
+    """
+    if max_exponent < 1 or waves < 1:
+        raise ValueError("invalid parameters")
+    requests: List[Request] = []
+    for wave in range(waves):
+        names = []
+        for exponent in range(max_exponent, -1, -1):
+            name = f"w{wave}-e{exponent}"
+            requests.append(Request.insert(name, 1 << exponent))
+            names.append(name)
+        for name in names:
+            requests.append(Request.delete(name))
+    return Trace(requests, label or f"descending-powers(k={max_exponent},waves={waves})")
+
+
+def fragmentation_attack_trace(
+    pairs: int,
+    small_size: int = 1,
+    large_size: int = 64,
+    label: Optional[str] = None,
+) -> Trace:
+    """Classic fragmentation attack against non-moving allocators.
+
+    Insert alternating small/large objects, then delete all the large ones
+    and insert one object slightly larger than ``large_size``: none of the
+    holes can hold it, so a non-moving allocator's footprint stays near the
+    peak even though the live volume collapsed.
+    """
+    if pairs < 1 or small_size < 1 or large_size < small_size:
+        raise ValueError("invalid parameters")
+    requests: List[Request] = []
+    for i in range(pairs):
+        requests.append(Request.insert(f"small-{i}", small_size))
+        requests.append(Request.insert(f"large-{i}", large_size))
+    for i in range(pairs):
+        requests.append(Request.delete(f"large-{i}"))
+    requests.append(Request.insert("straggler", large_size + 1))
+    return Trace(requests, label or f"fragmentation(pairs={pairs})")
+
+
+def sawtooth_trace(
+    peak_objects: int,
+    rounds: int = 4,
+    size: int = 8,
+    keep_fraction: float = 0.25,
+    label: Optional[str] = None,
+) -> Trace:
+    """Volume repeatedly ramps up to a peak and collapses to a floor.
+
+    Exercises how quickly each allocator's footprint tracks a shrinking
+    volume — the regime where non-moving allocators are provably stuck and
+    reallocators must keep paying to stay tight.
+    """
+    if peak_objects < 4 or rounds < 1 or not 0 < keep_fraction < 1:
+        raise ValueError("invalid parameters")
+    requests: List[Request] = []
+    next_id = 0
+    live: List[int] = []
+    keep = max(1, int(peak_objects * keep_fraction))
+    for _ in range(rounds):
+        while len(live) < peak_objects:
+            requests.append(Request.insert(next_id, size))
+            live.append(next_id)
+            next_id += 1
+        while len(live) > keep:
+            victim = live.pop(0)
+            requests.append(Request.delete(victim))
+    for victim in live:
+        requests.append(Request.delete(victim))
+    return Trace(requests, label or f"sawtooth(peak={peak_objects},rounds={rounds})")

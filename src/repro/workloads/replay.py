@@ -1,0 +1,58 @@
+"""Plain-text trace recording and replay.
+
+Traces are stored one request per line::
+
+    I <name> <size>
+    D <name>
+
+so they can be generated once, inspected with standard tools, diffed, and
+replayed bit-for-bit across machines.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.workloads.base import Request, Trace
+
+
+def save_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
+    """Write ``trace`` to ``path`` in the one-request-per-line text format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# trace {trace.label}\n")
+        for request in trace:
+            if request.is_insert:
+                handle.write(f"I {request.name} {request.size}\n")
+            else:
+                handle.write(f"D {request.name}\n")
+
+
+def load_trace(path: Union[str, os.PathLike], label: str = "") -> Trace:
+    """Read a trace previously written by :func:`save_trace`.
+
+    Object names are read back as strings; sizes as integers.
+    """
+    requests = []
+    trace_label = label or os.path.basename(str(path))
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if line.startswith("# trace ") and not label:
+                    trace_label = line[len("# trace "):]
+                continue
+            parts = line.split()
+            if parts[0] == "I":
+                if len(parts) != 3:
+                    raise ValueError(f"{path}:{line_number}: malformed insert {line!r}")
+                requests.append(Request.insert(parts[1], int(parts[2])))
+            elif parts[0] == "D":
+                if len(parts) != 2:
+                    raise ValueError(f"{path}:{line_number}: malformed delete {line!r}")
+                requests.append(Request.delete(parts[1]))
+            else:
+                raise ValueError(f"{path}:{line_number}: unknown record {line!r}")
+    return Trace(requests, label=trace_label)

@@ -1,0 +1,146 @@
+"""Synthetic online workloads."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.workloads.base import Request, Trace
+from repro.workloads.sizes import DatabaseBlockSizes, SizeDistribution, UniformSizes
+
+
+def churn_trace(
+    num_requests: int,
+    sizes: Optional[SizeDistribution] = None,
+    target_live: int = 200,
+    seed: int = 0,
+    delete_fraction: float = 0.5,
+    label: Optional[str] = None,
+) -> Trace:
+    """Steady-state churn: a warm-up of inserts, then a mix of inserts and
+    deletes that keeps roughly ``target_live`` objects active.
+
+    This is the workhorse workload for the footprint and cost experiments:
+    the live volume stays roughly constant while a large multiple of it flows
+    through the allocator.
+    """
+    sizes = sizes if sizes is not None else UniformSizes(1, 64)
+    rng = random.Random(seed)
+    requests: List[Request] = []
+    live: List[int] = []
+    next_id = 0
+    for _ in range(num_requests):
+        want_delete = live and (
+            len(live) > target_live or (len(live) > target_live // 4 and rng.random() < delete_fraction)
+        )
+        if want_delete:
+            victim = live.pop(rng.randrange(len(live)))
+            requests.append(Request.delete(victim))
+        else:
+            next_id += 1
+            requests.append(Request.insert(next_id, sizes(rng)))
+            live.append(next_id)
+    return Trace(requests, label or f"churn({sizes.name},n={num_requests})")
+
+
+def grow_then_shrink_trace(
+    num_objects: int,
+    sizes: Optional[SizeDistribution] = None,
+    seed: int = 0,
+    order: str = "random",
+    label: Optional[str] = None,
+) -> Trace:
+    """Insert ``num_objects`` objects, then delete all of them.
+
+    ``order`` controls the deletion order: ``"fifo"`` (oldest first),
+    ``"lifo"`` (newest first) or ``"random"``.  FIFO deletion against a
+    non-moving allocator is the classic fragmentation generator.
+    """
+    sizes = sizes if sizes is not None else UniformSizes(1, 64)
+    rng = random.Random(seed)
+    requests = [Request.insert(i, sizes(rng)) for i in range(num_objects)]
+    victims = list(range(num_objects))
+    if order == "lifo":
+        victims.reverse()
+    elif order == "random":
+        rng.shuffle(victims)
+    elif order != "fifo":
+        raise ValueError(f"unknown deletion order {order!r}")
+    requests.extend(Request.delete(name) for name in victims)
+    return Trace(requests, label or f"grow-shrink({sizes.name},{order},n={num_objects})")
+
+
+def sliding_window_trace(
+    num_objects: int,
+    window: int,
+    sizes: Optional[SizeDistribution] = None,
+    seed: int = 0,
+    label: Optional[str] = None,
+) -> Trace:
+    """FIFO lifetime: every object lives for exactly ``window`` insertions.
+
+    Models a log-structured or queue-like workload where data expires in
+    arrival order — the friendliest case for logging-and-compacting and the
+    most adversarial for naive free-list reuse.
+    """
+    sizes = sizes if sizes is not None else UniformSizes(1, 64)
+    rng = random.Random(seed)
+    requests: List[Request] = []
+    for index in range(num_objects):
+        requests.append(Request.insert(index, sizes(rng)))
+        if index >= window:
+            requests.append(Request.delete(index - window))
+    for index in range(max(0, num_objects - window), num_objects):
+        requests.append(Request.delete(index))
+    return Trace(requests, label or f"window({window},n={num_objects})")
+
+
+def database_trace(
+    num_requests: int,
+    block: int = 64,
+    working_set: int = 400,
+    seed: int = 0,
+    label: Optional[str] = None,
+) -> Trace:
+    """Block-translation-layer traffic of a B-tree-style storage engine.
+
+    Node rewrites are modelled as delete-then-insert pairs of a fresh block
+    whose compressed size differs slightly, node splits as an extra insert,
+    and merges as an extra delete — the pattern that motivates reallocation
+    in TokuDB-style engines.
+    """
+    sizes = DatabaseBlockSizes(block)
+    rng = random.Random(seed)
+    requests: List[Request] = []
+    live: List[int] = []
+    next_id = 0
+
+    def fresh_insert() -> None:
+        nonlocal next_id
+        next_id += 1
+        requests.append(Request.insert(next_id, sizes(rng)))
+        live.append(next_id)
+
+    while len(requests) < num_requests:
+        if len(live) < working_set // 2:
+            fresh_insert()
+            continue
+        roll = rng.random()
+        if roll < 0.55 and live:
+            # Node rewrite: the block is freed and rewritten at a new size.
+            victim = live.pop(rng.randrange(len(live)))
+            requests.append(Request.delete(victim))
+            fresh_insert()
+        elif roll < 0.75:
+            # Node split: one extra block appears.
+            fresh_insert()
+        elif roll < 0.9 and len(live) > working_set // 2:
+            # Node merge: one block disappears.
+            victim = live.pop(rng.randrange(len(live)))
+            requests.append(Request.delete(victim))
+        else:
+            fresh_insert()
+        if len(live) > working_set * 2:
+            victim = live.pop(rng.randrange(len(live)))
+            requests.append(Request.delete(victim))
+    return Trace(requests[:num_requests], label or f"database(block={block},n={num_requests})")

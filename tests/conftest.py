@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    CheckpointedReallocator,
+    CostObliviousReallocator,
+    DeamortizedReallocator,
+)
+
+
+REALLOCATOR_CLASSES = [
+    CostObliviousReallocator,
+    CheckpointedReallocator,
+    DeamortizedReallocator,
+]
+
+
+@pytest.fixture(params=REALLOCATOR_CLASSES, ids=lambda cls: cls.name)
+def reallocator_class(request):
+    """Parametrize a test over the three paper variants."""
+    return request.param
+
+
+def random_churn(allocator, steps, seed=0, max_size=64, delete_probability=0.45):
+    """Drive ``allocator`` with a random insert/delete mix; returns live dict."""
+    rng = random.Random(seed)
+    live = {}
+    next_id = 0
+    for _ in range(steps):
+        if live and rng.random() < delete_probability:
+            name = rng.choice(list(live))
+            allocator.delete(name)
+            del live[name]
+        else:
+            next_id += 1
+            size = rng.randint(1, max_size)
+            allocator.insert(next_id, size)
+            live[next_id] = size
+    return live

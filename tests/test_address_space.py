@@ -1,0 +1,85 @@
+"""Unit tests for the auditing address space."""
+
+import pytest
+
+from repro.storage.address_space import AddressSpace, OverlapError
+from repro.storage.extent import Extent
+
+
+def test_place_move_remove_roundtrip():
+    space = AddressSpace()
+    space.place("a", Extent(0, 10))
+    space.place("b", Extent(10, 5))
+    assert space.footprint() == 15
+    assert space.volume() == 15
+    old = space.move("b", Extent(20, 5))
+    assert old == Extent(10, 5)
+    assert space.footprint() == 25
+    removed = space.remove("a")
+    assert removed == Extent(0, 10)
+    assert space.volume() == 5
+    assert "a" not in space and "b" in space
+
+
+def test_overlap_detection_on_place_and_move():
+    space = AddressSpace()
+    space.place("a", Extent(0, 10))
+    with pytest.raises(OverlapError):
+        space.place("b", Extent(5, 2))
+    space.place("b", Extent(10, 10))
+    with pytest.raises(OverlapError):
+        space.move("b", Extent(9, 5))
+    # Moving over your own old position is allowed (Section 2 semantics).
+    space.move("b", Extent(15, 10))
+    assert space.extent_of("b") == Extent(15, 10)
+
+
+def test_duplicate_and_missing_names():
+    space = AddressSpace()
+    space.place("a", Extent(0, 1))
+    with pytest.raises(KeyError):
+        space.place("a", Extent(5, 1))
+    with pytest.raises(KeyError):
+        space.move("missing", Extent(0, 1))
+    with pytest.raises(KeyError):
+        space.remove("missing")
+
+
+def test_footprint_shrinks_when_last_object_leaves():
+    space = AddressSpace()
+    space.place("a", Extent(0, 10))
+    space.place("b", Extent(50, 10))
+    assert space.footprint() == 60
+    space.remove("b")
+    assert space.footprint() == 10
+    space.move("a", Extent(100, 10))
+    assert space.footprint() == 110
+    space.remove("a")
+    assert space.footprint() == 0
+
+
+def test_unvalidated_space_skips_overlap_checks_but_keeps_accounting():
+    space = AddressSpace(validate=False)
+    space.place("a", Extent(0, 10))
+    space.place("b", Extent(5, 10))  # no error in fast mode
+    assert space.volume() == 20
+    with pytest.raises(OverlapError):
+        space.verify_disjoint()
+
+
+def test_free_gaps_and_utilization():
+    space = AddressSpace()
+    space.place("a", Extent(0, 5))
+    space.place("b", Extent(10, 5))
+    gaps = space.free_gaps()
+    assert gaps == [Extent(5, 5)]
+    assert space.utilization() == pytest.approx(10 / 15)
+    assert AddressSpace().utilization() == 1.0
+
+
+def test_snapshot_is_a_copy():
+    space = AddressSpace()
+    space.place("a", Extent(0, 5))
+    snapshot = space.snapshot()
+    snapshot["a"] = Extent(100, 5)
+    assert space.extent_of("a") == Extent(0, 5)

@@ -1,0 +1,201 @@
+"""Tests for the baseline allocators."""
+
+import random
+
+import pytest
+
+from repro.allocators import (
+    AppendOnlyAllocator,
+    BASELINE_ALLOCATORS,
+    BestFitAllocator,
+    BuddyAllocator,
+    FirstFitAllocator,
+    IdealPackingReallocator,
+    LoggingCompactingReallocator,
+    NextFitAllocator,
+    SizeClassGapReallocator,
+    WorstFitAllocator,
+)
+from repro.core.base import AllocationError
+from repro.workloads import churn_trace, fragmentation_attack_trace
+
+ALL_BASELINES = list(BASELINE_ALLOCATORS) + [IdealPackingReallocator]
+
+
+@pytest.mark.parametrize("allocator_class", ALL_BASELINES, ids=lambda c: c.name)
+def test_random_churn_preserves_disjointness_and_volume(allocator_class):
+    allocator = allocator_class()
+    rng = random.Random(42)
+    live = {}
+    next_id = 0
+    for _ in range(800):
+        if live and rng.random() < 0.45:
+            name = rng.choice(list(live))
+            allocator.delete(name)
+            del live[name]
+        else:
+            next_id += 1
+            size = rng.randint(1, 64)
+            allocator.insert(next_id, size)
+            live[next_id] = size
+    allocator.space.verify_disjoint()
+    assert allocator.volume == sum(live.values())
+    assert allocator.num_objects == len(live)
+
+
+@pytest.mark.parametrize("allocator_class", ALL_BASELINES, ids=lambda c: c.name)
+def test_request_validation(allocator_class):
+    allocator = allocator_class()
+    allocator.insert("a", 4)
+    with pytest.raises(AllocationError):
+        allocator.insert("a", 4)
+    with pytest.raises(AllocationError):
+        allocator.delete("missing")
+
+
+def test_non_moving_allocators_never_move():
+    for allocator_class in (FirstFitAllocator, BestFitAllocator, NextFitAllocator,
+                            WorstFitAllocator, BuddyAllocator, AppendOnlyAllocator):
+        allocator = allocator_class()
+        trace = churn_trace(500, seed=9, target_live=60)
+        allocator.run(trace)
+        assert allocator.stats.total_moves == 0
+        assert not allocator.supports_reallocation
+
+
+def test_first_fit_reuses_the_lowest_gap():
+    allocator = FirstFitAllocator()
+    allocator.insert("a", 10)
+    allocator.insert("b", 10)
+    allocator.insert("c", 10)
+    allocator.delete("a")
+    allocator.delete("c")  # trailing gap shrinks the high-water mark
+    allocator.insert("d", 6)
+    assert allocator.address_of("d") == 0
+    assert allocator.footprint == 20
+
+
+def test_best_fit_prefers_the_tightest_gap():
+    allocator = BestFitAllocator()
+    for name, size in [("a", 10), ("b", 4), ("c", 10), ("d", 6), ("e", 10)]:
+        allocator.insert(name, size)
+    allocator.delete("b")  # gap of 4
+    allocator.delete("d")  # gap of 6
+    allocator.insert("f", 5)
+    assert allocator.address_of("f") == 24  # the size-6 gap, not the size-4 one
+
+
+def test_worst_fit_prefers_the_largest_gap():
+    allocator = WorstFitAllocator()
+    for name, size in [("a", 10), ("b", 4), ("c", 10), ("d", 8), ("e", 10)]:
+        allocator.insert(name, size)
+    allocator.delete("b")
+    allocator.delete("d")
+    allocator.insert("f", 2)
+    assert allocator.address_of("f") == 24  # inside the size-8 gap
+
+
+def test_free_list_coalescing_collapses_adjacent_gaps():
+    allocator = FirstFitAllocator()
+    for index in range(5):
+        allocator.insert(index, 8)
+    for index in [1, 3, 2]:
+        allocator.delete(index)
+    # Holes 1, 2, 3 coalesce into one 24-unit gap starting at 8.
+    assert allocator.free_volume() == 24
+    allocator.insert("wide", 24)
+    assert allocator.address_of("wide") == 8
+
+
+def test_append_only_never_reuses_space():
+    allocator = AppendOnlyAllocator()
+    allocator.insert("a", 10)
+    allocator.delete("a")
+    allocator.insert("b", 10)
+    assert allocator.address_of("b") == 10
+    assert allocator.footprint == 20
+
+
+def test_buddy_allocator_rounds_to_powers_of_two_and_merges():
+    allocator = BuddyAllocator(max_order=6)
+    allocator.insert("a", 5)   # rounded to 8
+    allocator.insert("b", 8)
+    assert allocator.reserved_volume() == 16
+    allocator.delete("a")
+    allocator.delete("b")
+    allocator.insert("c", 60)  # rounded to 64: the merged top block fits it
+    assert allocator.address_of("c") == 0
+
+
+def test_buddy_handles_objects_larger_than_the_top_order():
+    allocator = BuddyAllocator(max_order=4)
+    allocator.insert("huge", 100)  # larger than 2**4
+    allocator.insert("small", 3)
+    allocator.space.verify_disjoint()
+    allocator.delete("huge")
+    allocator.insert("huge2", 100)
+    allocator.space.verify_disjoint()
+
+
+def test_logging_compaction_triggers_at_threshold():
+    allocator = LoggingCompactingReallocator(threshold=2.0, trace=True)
+    allocator.insert("small-keep", 2)
+    allocator.insert("big", 40)
+    allocator.insert("tail", 2)
+    assert allocator.stats.total_moves == 0
+    allocator.delete("big")  # footprint 44 > 2 * volume 4 -> compaction
+    assert allocator.footprint == allocator.volume == 4
+    assert allocator.stats.total_moves >= 1
+    with pytest.raises(ValueError):
+        LoggingCompactingReallocator(threshold=1.0)
+
+
+def test_logging_compaction_keeps_two_x_footprint_under_churn():
+    allocator = LoggingCompactingReallocator()
+    allocator.run(churn_trace(1500, seed=13, target_live=100))
+    assert allocator.stats.max_footprint_ratio <= 2.0 + 1e-9
+
+
+def test_size_class_gap_moves_constant_objects_per_request():
+    allocator = SizeClassGapReallocator(trace=True)
+    rng = random.Random(3)
+    live = []
+    next_id = 0
+    worst = 0
+    for _ in range(800):
+        if live and rng.random() < 0.4:
+            allocator.delete(live.pop(rng.randrange(len(live))))
+        else:
+            next_id += 1
+            allocator.insert(next_id, rng.randint(1, 128))
+            live.append(next_id)
+        worst = max(worst, allocator.history[-1].move_count)
+    # At most one displacement per larger size class (about log2(128) = 7),
+    # plus the backfill move on deletes.
+    assert worst <= 10
+    allocator.space.verify_disjoint()
+
+
+def test_ideal_packing_keeps_footprint_equal_to_volume():
+    allocator = IdealPackingReallocator()
+    rng = random.Random(5)
+    live = []
+    next_id = 0
+    for _ in range(400):
+        if live and rng.random() < 0.5:
+            allocator.delete(live.pop(rng.randrange(len(live))))
+        else:
+            next_id += 1
+            allocator.insert(next_id, rng.randint(1, 32))
+            live.append(next_id)
+        assert allocator.footprint == allocator.volume
+
+
+def test_fragmentation_attack_hurts_non_movers_only():
+    trace = fragmentation_attack_trace(pairs=50, small_size=2, large_size=32)
+    fragmented = FirstFitAllocator()
+    fragmented.run(trace)
+    compact = LoggingCompactingReallocator()
+    compact.run(trace)
+    assert fragmented.stats.max_footprint_ratio > 5
+    assert compact.stats.max_footprint_ratio <= 2.0 + 1e-9

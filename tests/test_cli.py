@@ -1,0 +1,29 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_every_experiment(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for key in ("E1", "E5", "F3"):
+        assert key in out
+
+
+def test_default_command_is_list(capsys):
+    assert main([]) == 0
+    assert "E1" in capsys.readouterr().out
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "F3"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+    assert "flush" in out
+
+
+def test_run_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        main(["run", "E42"])

@@ -1,0 +1,146 @@
+"""Unit and property-based tests for the cost-function library.
+
+The key property is membership in the paper's class ``F_sa``: every cost
+function shipped here must be monotonically increasing and subadditive,
+because the reallocators' guarantees are stated only for that class.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.costs import (
+    STANDARD_COST_SUITE,
+    AffineCost,
+    BlockCost,
+    CappedLinearCost,
+    ConstantCost,
+    CostFunctionError,
+    LinearCost,
+    LogCost,
+    MainMemoryCost,
+    MinCost,
+    NetworkedStoreCost,
+    PiecewiseLinearConcaveCost,
+    PowerCost,
+    RotatingDiskCost,
+    ScaledCost,
+    SolidStateCost,
+    SumCost,
+    TabulatedCost,
+    is_monotone,
+    is_subadditive,
+    validate_cost_function,
+)
+
+ALL_COST_FUNCTIONS = list(STANDARD_COST_SUITE) + [
+    BlockCost(block=16),
+    NetworkedStoreCost(),
+    PiecewiseLinearConcaveCost([(4, 8.0), (64, 40.0), (256, 80.0)]),
+    ScaledCost(LinearCost(), 2.5),
+    SumCost([ConstantCost(3.0), LinearCost(0.5)]),
+    MinCost([LinearCost(), ConstantCost(100.0)]),
+    TabulatedCost({1: 1.0, 2: 1.5, 4: 2.0, 8: 3.0, 16: 4.0}),
+]
+
+
+@pytest.mark.parametrize("cost", ALL_COST_FUNCTIONS, ids=lambda c: c.name)
+def test_every_shipped_cost_function_is_in_F_sa(cost):
+    validate_cost_function(cost, max_size=128)
+
+
+@pytest.mark.parametrize("cost", ALL_COST_FUNCTIONS, ids=lambda c: c.name)
+def test_costs_are_positive_and_reject_nonpositive_sizes(cost):
+    assert cost(1) > 0
+    assert cost(100) > 0
+    with pytest.raises(ValueError):
+        cost(0)
+    with pytest.raises(ValueError):
+        cost(-3)
+
+
+def test_linear_and_constant_extremes():
+    linear = LinearCost()
+    constant = ConstantCost()
+    assert linear(7) == 7
+    assert constant(7) == 1
+    assert linear.total([1, 2, 3]) == 6
+    assert constant.total([1, 2, 3]) == 3
+
+
+def test_affine_matches_seek_plus_transfer():
+    disk = AffineCost(fixed=8.0, per_unit=0.5)
+    assert disk(10) == pytest.approx(13.0)
+    assert RotatingDiskCost(seek_ms=8.0, units_per_ms=2.0)(10) == pytest.approx(13.0)
+
+
+def test_block_and_ssd_costs_round_up_to_pages():
+    block = BlockCost(block=8, per_block=2.0)
+    assert block(1) == 2.0
+    assert block(8) == 2.0
+    assert block(9) == 4.0
+    ssd = SolidStateCost(page_size=8, page_cost=1.0, issue_cost=0.0)
+    assert ssd(16) == pytest.approx(2.0)
+
+
+def test_invalid_parameters_raise():
+    with pytest.raises(CostFunctionError):
+        LinearCost(0)
+    with pytest.raises(CostFunctionError):
+        PowerCost(exponent=1.5)
+    with pytest.raises(CostFunctionError):
+        CappedLinearCost(cap=0)
+    with pytest.raises(CostFunctionError):
+        SumCost([])
+    with pytest.raises(CostFunctionError):
+        ScaledCost(LinearCost(), -1)
+    with pytest.raises(CostFunctionError):
+        TabulatedCost({})
+
+
+def test_piecewise_requires_concavity():
+    with pytest.raises(CostFunctionError):
+        PiecewiseLinearConcaveCost([(1, 1.0), (2, 10.0)])  # convex jump
+    ok = PiecewiseLinearConcaveCost([(2, 4.0), (10, 10.0)])
+    assert ok(1) == pytest.approx(2.0)
+    assert ok(6) == pytest.approx(7.0)
+    assert ok(20) == pytest.approx(17.5)
+
+
+def test_tabulated_rejects_non_subadditive_measurements():
+    with pytest.raises(CostFunctionError):
+        TabulatedCost({1: 1.0, 100: 1000.0})
+
+
+def test_checker_helpers_detect_violations():
+    class Bad(LinearCost):
+        name = "bad"
+
+        def cost(self, size):
+            return size * size  # superadditive
+
+    sizes = list(range(1, 40))
+    assert is_monotone(Bad(), sizes)
+    assert not is_subadditive(Bad(), sizes)
+    assert is_subadditive(LogCost(), sizes)
+    assert is_monotone(MainMemoryCost(), sizes)
+
+
+@pytest.mark.parametrize(
+    "cost",
+    [LinearCost(), ConstantCost(), AffineCost(2, 1), PowerCost(0.5), LogCost(),
+     CappedLinearCost(64), RotatingDiskCost(), SolidStateCost(), BlockCost(16)],
+    ids=lambda c: c.name,
+)
+@given(x=st.integers(1, 2000), y=st.integers(1, 2000))
+def test_subadditivity_property(cost, x, y):
+    assert cost(x + y) <= cost(x) + cost(y) + 1e-9
+
+
+@pytest.mark.parametrize(
+    "cost",
+    [LinearCost(), PowerCost(0.7), LogCost(), RotatingDiskCost(), NetworkedStoreCost()],
+    ids=lambda c: c.name,
+)
+@given(x=st.integers(1, 5000))
+def test_monotonicity_property(cost, x):
+    assert cost(x + 1) >= cost(x) - 1e-9

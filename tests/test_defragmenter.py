@@ -1,0 +1,105 @@
+"""Tests for the Theorem 2.7 cost-oblivious defragmenter."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import Defragmenter
+from repro.costs import ConstantCost, LinearCost
+
+
+def _fragmented_layout(sizes, epsilon, seed=0):
+    """Scatter the objects over (1+eps)V space with random holes."""
+    rng = random.Random(seed)
+    volume = sum(size for _, size in sizes)
+    slack = int(epsilon * volume)
+    order = list(sizes)
+    rng.shuffle(order)
+    allocation = {}
+    cursor = 0
+    for name, size in order:
+        hole = rng.randint(0, max(0, slack // max(1, len(sizes) // 3)))
+        hole = min(hole, slack)
+        cursor += hole
+        slack -= hole
+        allocation[name] = cursor
+        cursor += size
+    return allocation
+
+
+def test_objects_end_up_sorted_and_packed():
+    objects = [(f"o{i}", (i * 7) % 50 + 1) for i in range(60)]
+    allocation = _fragmented_layout(objects, epsilon=0.5, seed=1)
+    defrag = Defragmenter(epsilon=0.5, key=lambda name: int(name[1:]))
+    result = defrag.defragment(objects, allocation)
+    ordered = sorted(result.layout, key=lambda name: int(name[1:]))
+    addresses = [result.layout[name] for name in ordered]
+    assert addresses == sorted(addresses)
+    # Packed: consecutive objects touch exactly.
+    sizes = dict(objects)
+    for left, right in zip(ordered, ordered[1:]):
+        assert result.layout[left] + sizes[left] == result.layout[right]
+
+
+def test_space_never_exceeds_bound():
+    objects = [(f"o{i}", (i % 40) + 1) for i in range(120)]
+    allocation = _fragmented_layout(objects, epsilon=0.25, seed=2)
+    result = Defragmenter(epsilon=0.25, key=lambda n: n).defragment(objects, allocation)
+    volume = sum(size for _, size in objects)
+    delta = max(size for _, size in objects)
+    assert result.peak_footprint <= (1 + 0.25) * volume + delta + 1e-9
+    # The reallocator prefix never caught up with the remaining suffix.
+    assert result.min_prefix_suffix_gap >= 0
+
+
+def test_cost_ratio_is_bounded_under_multiple_cost_functions():
+    objects = [(f"o{i}", (i % 16) + 1) for i in range(100)]
+    allocation = _fragmented_layout(objects, epsilon=0.5, seed=3)
+    result = Defragmenter(epsilon=0.5, key=lambda n: n).defragment(objects, allocation)
+    assert 0 < result.cost_ratio(LinearCost()) < 80
+    assert 0 < result.cost_ratio(ConstantCost()) < 80
+    assert result.moves_per_object < 80
+
+
+def test_rejects_bad_inputs():
+    defrag = Defragmenter(epsilon=0.5)
+    with pytest.raises(ValueError):
+        Defragmenter(epsilon=0.9)
+    with pytest.raises(ValueError):
+        defrag.defragment([("a", 5), ("a", 6)], {"a": 0})
+    with pytest.raises(ValueError):
+        defrag.defragment([("a", 5)], {})
+    # Initial layout too spread out for the promised slack.
+    with pytest.raises(ValueError):
+        defrag.defragment([("a", 5), ("b", 5)], {"a": 0, "b": 100})
+
+
+def test_empty_input_is_a_noop():
+    result = Defragmenter(epsilon=0.5).defragment([], {})
+    assert result.layout == {}
+    assert result.total_moves == 0
+
+
+def test_single_object_moves_to_the_suffix():
+    result = Defragmenter(epsilon=0.5).defragment([("only", 10)], {"only": 0})
+    assert list(result.layout) == ["only"]
+    assert result.peak_footprint <= 15 + 10  # (1+eps)V + Delta
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    sizes=st.lists(st.integers(1, 32), min_size=1, max_size=40),
+    epsilon=st.sampled_from([0.5, 0.25]),
+)
+def test_property_sortedness_and_space(sizes, epsilon):
+    objects = [(f"o{i:03d}", size) for i, size in enumerate(sizes)]
+    allocation = _fragmented_layout(objects, epsilon=epsilon, seed=len(sizes))
+    result = Defragmenter(epsilon=epsilon, key=lambda n: n).defragment(objects, allocation)
+    volume = sum(sizes)
+    delta = max(sizes)
+    assert result.peak_footprint <= (1 + epsilon) * volume + delta + 1e-9
+    ordered = sorted(result.layout)
+    addresses = [result.layout[name] for name in ordered]
+    assert addresses == sorted(addresses)
+    assert set(result.layout) == {name for name, _ in objects}

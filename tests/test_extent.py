@@ -1,0 +1,68 @@
+"""Unit tests for extent arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage.extent import Extent, coalesce, total_length
+
+
+def test_basic_properties():
+    extent = Extent(10, 5)
+    assert extent.end == 15
+    assert extent.contains(10)
+    assert extent.contains(14)
+    assert not extent.contains(15)
+    assert str(extent) == "[10, 15)"
+
+
+def test_invalid_extents_rejected():
+    with pytest.raises(ValueError):
+        Extent(-1, 4)
+    with pytest.raises(ValueError):
+        Extent(0, 0)
+
+
+def test_overlap_detection():
+    a = Extent(0, 10)
+    assert a.overlaps(Extent(9, 1))
+    assert not a.overlaps(Extent(10, 1))
+    assert Extent(5, 5).overlaps(Extent(0, 6))
+    assert not Extent(5, 5).overlaps(Extent(0, 5))
+
+
+def test_containment_and_shift():
+    outer = Extent(0, 100)
+    inner = Extent(10, 20)
+    assert outer.contains_extent(inner)
+    assert not inner.contains_extent(outer)
+    assert inner.shifted(5) == Extent(15, 20)
+
+
+def test_coalesce_merges_adjacent_and_overlapping():
+    merged = coalesce([Extent(0, 5), Extent(5, 5), Extent(20, 3), Extent(19, 2)])
+    assert merged == [Extent(0, 10), Extent(19, 4)]
+
+
+def test_total_length_counts_distinct_addresses_once():
+    assert total_length([Extent(0, 10), Extent(5, 10)]) == 15
+    assert total_length([]) == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 500), st.integers(1, 50)).map(lambda t: Extent(*t)),
+        max_size=30,
+    )
+)
+def test_coalesce_preserves_covered_addresses(extents):
+    covered = set()
+    for extent in extents:
+        covered.update(range(extent.start, extent.end))
+    merged = coalesce(extents)
+    merged_covered = set()
+    for extent in merged:
+        merged_covered.update(range(extent.start, extent.end))
+    assert covered == merged_covered
+    # Merged extents are sorted and pairwise disjoint with gaps between them.
+    for left, right in zip(merged, merged[1:]):
+        assert left.end < right.start

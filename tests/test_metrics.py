@@ -1,0 +1,105 @@
+"""Tests for metric collection, reporting, and the analytic bound helpers."""
+
+import pytest
+
+from repro.analysis import (
+    memory_allocation_lower_bound,
+    predicted_checkpoints_per_flush,
+    predicted_cost_ratio,
+    predicted_footprint_ratio,
+    predicted_worst_case_moved_volume,
+)
+from repro.allocators import FirstFitAllocator
+from repro.core import CostObliviousReallocator
+from repro.core.stats import AllocatorStats
+from repro.costs import ConstantCost, LinearCost
+from repro.metrics import (
+    ascii_table,
+    cost_competitive_ratio,
+    footprint_competitive_ratio,
+    render_series,
+    run_trace,
+)
+from repro.workloads import churn_trace
+
+
+def test_run_trace_collects_consistent_metrics():
+    trace = churn_trace(800, seed=21, target_live=80)
+    allocator = CostObliviousReallocator(epsilon=0.25)
+    metrics = run_trace(allocator, trace, cost_functions=(LinearCost(), ConstantCost()),
+                        sample_every=50)
+    assert metrics.requests == len(trace)
+    assert metrics.final_volume == allocator.volume
+    assert metrics.max_footprint_ratio <= 1.25 + 1e-9
+    assert metrics.total_moves == allocator.stats.total_moves
+    assert set(metrics.cost_ratios) == {"linear", "constant"}
+    assert len(metrics.footprint_series) == len(metrics.volume_series) > 0
+    assert metrics.requests_per_second > 0
+    row = metrics.summary_row(["linear", "constant"])
+    assert row[0] == allocator.describe()
+
+
+def test_run_trace_on_non_moving_allocator_reports_zero_moves():
+    trace = churn_trace(400, seed=22)
+    metrics = run_trace(FirstFitAllocator(), trace, cost_functions=(LinearCost(),))
+    assert metrics.total_moves == 0
+    assert metrics.cost_ratios["linear"] == 0.0
+
+
+def test_footprint_competitive_ratio_helper():
+    assert footprint_competitive_ratio([10, 20, 30], [10, 10, 20]) == pytest.approx(2.0)
+    assert footprint_competitive_ratio([5], [0]) == 0.0
+    with pytest.raises(ValueError):
+        footprint_competitive_ratio([1, 2], [1])
+
+
+def test_cost_competitive_ratio_uses_histograms():
+    stats = AllocatorStats()
+    stats.record_allocation(10)
+    stats.record_allocation(10)
+    stats.record_move(10)
+    assert cost_competitive_ratio(stats, LinearCost()) == pytest.approx(0.5)
+    assert cost_competitive_ratio(stats, ConstantCost()) == pytest.approx(0.5)
+    assert AllocatorStats().cost_ratio(LinearCost()) == 0.0
+
+
+def test_stats_track_worst_request_and_footprint():
+    stats = AllocatorStats()
+    stats.record_footprint(150, 100)
+    stats.record_footprint(90, 100)
+    stats.record_transient_footprint(500)
+    assert stats.max_footprint == 150
+    assert stats.max_footprint_ratio == pytest.approx(1.5)
+    assert stats.max_transient_footprint == 500
+
+
+def test_ascii_table_renders_all_rows_and_headers():
+    table = ascii_table(["name", "value"], [["a", 1], ["bb", 2.5]], title="T")
+    assert "T" in table
+    assert "| name | value |" in table
+    assert "| bb   | 2.5   |" in table
+    assert table.count("+") >= 8
+
+
+def test_render_series_handles_edge_cases():
+    assert render_series([]) == "(empty series)"
+    chart = render_series([1, 5, 9, 5, 1], width=10, height=4, label="demo")
+    assert "demo" in chart
+    assert "#" in chart
+    long_chart = render_series(list(range(500)), width=40, height=5)
+    assert max(len(line) for line in long_chart.splitlines()[1:]) <= 40
+
+
+def test_analytic_bound_helpers():
+    assert predicted_footprint_ratio(0.25) == 1.25
+    assert predicted_cost_ratio(0.25) == pytest.approx(8.0)
+    assert predicted_cost_ratio(0.5) == pytest.approx(2.0)
+    assert predicted_checkpoints_per_flush(0.25) == 4.0
+    assert predicted_worst_case_moved_volume(0.25, 10, 100) == pytest.approx(260.0)
+    assert memory_allocation_lower_bound(1024, 2**20) == pytest.approx(10.0)
+    for helper in (predicted_footprint_ratio, predicted_cost_ratio,
+                   predicted_checkpoints_per_flush):
+        with pytest.raises(ValueError):
+            helper(0.9)
+    with pytest.raises(ValueError):
+        memory_allocation_lower_bound(0, 2)

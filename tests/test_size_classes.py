@@ -1,0 +1,58 @@
+"""Unit tests for the power-of-two size-class arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.size_classes import (
+    class_max_size,
+    class_min_size,
+    num_size_classes,
+    size_class_of,
+)
+
+
+def test_small_sizes_map_to_expected_classes():
+    assert size_class_of(1) == 1
+    assert size_class_of(2) == 2
+    assert size_class_of(3) == 2
+    assert size_class_of(4) == 3
+    assert size_class_of(7) == 3
+    assert size_class_of(8) == 4
+
+
+def test_class_bounds_are_consistent():
+    for index in range(1, 20):
+        assert class_min_size(index) == 2 ** (index - 1)
+        assert class_max_size(index) == 2**index - 1
+        assert size_class_of(class_min_size(index)) == index
+        assert size_class_of(class_max_size(index)) == index
+
+
+def test_num_size_classes_matches_paper_formula():
+    # floor(log2 delta) + 1 classes.
+    assert num_size_classes(1) == 1
+    assert num_size_classes(2) == 2
+    assert num_size_classes(3) == 2
+    assert num_size_classes(1024) == 11
+
+
+def test_invalid_arguments_raise():
+    with pytest.raises(ValueError):
+        size_class_of(0)
+    with pytest.raises(ValueError):
+        class_min_size(0)
+    with pytest.raises(ValueError):
+        class_max_size(-1)
+    with pytest.raises(ValueError):
+        num_size_classes(0)
+
+
+@given(st.integers(min_value=1, max_value=2**40))
+def test_every_size_falls_inside_its_class(size):
+    index = size_class_of(size)
+    assert class_min_size(index) <= size <= class_max_size(index)
+
+
+@given(st.integers(min_value=1, max_value=2**30))
+def test_doubling_a_size_moves_up_exactly_one_class(size):
+    assert size_class_of(2 * size) == size_class_of(size) + 1

@@ -1,0 +1,120 @@
+"""Tests for the checkpoint manager, devices, and block translation layer."""
+
+import pytest
+
+from repro.costs.base import validate_cost_function
+from repro.storage import (
+    BlockTranslationLayer,
+    CheckpointManager,
+    Extent,
+    FreedSpaceViolation,
+    MainMemoryDevice,
+    RecoveryError,
+    RotatingDiskDevice,
+    SolidStateDevice,
+)
+
+
+# ------------------------------------------------------------- checkpoints
+def test_freed_space_is_unwritable_until_checkpoint():
+    manager = CheckpointManager()
+    manager.record_free(Extent(10, 10))
+    assert not manager.is_writable(Extent(15, 2))
+    assert manager.is_writable(Extent(20, 5))
+    with pytest.raises(FreedSpaceViolation):
+        manager.assert_writable(Extent(10, 1))
+    assert manager.violations == 1
+    manager.checkpoint()
+    manager.assert_writable(Extent(10, 1))
+    assert manager.checkpoints_taken == 1
+
+
+def test_non_enforcing_manager_only_counts():
+    manager = CheckpointManager(enforce=False)
+    manager.record_free(Extent(0, 5))
+    manager.assert_writable(Extent(0, 5))
+    assert manager.violations == 1
+
+
+def test_frozen_extents_are_coalesced():
+    manager = CheckpointManager()
+    for start in range(0, 200, 2):
+        manager.record_free(Extent(start, 2))
+    assert manager.frozen_extents() == [Extent(0, 200)]
+    manager.reset_counters()
+    assert manager.checkpoints_taken == 0
+
+
+# ------------------------------------------------------------------ devices
+@pytest.mark.parametrize(
+    "device_class", [MainMemoryDevice, RotatingDiskDevice, SolidStateDevice]
+)
+def test_device_timing_and_counters(device_class):
+    device = device_class()
+    write_time = device.write(64)
+    move_time = device.move(64)
+    assert write_time > 0
+    assert move_time >= write_time  # a move reads and rewrites the data
+    assert device.stats.moves == 1
+    assert device.stats.units_written == 128
+    assert device.stats.elapsed_ms >= write_time + move_time - 1e-9
+    device.reset()
+    assert device.stats.elapsed_ms == 0
+
+
+@pytest.mark.parametrize(
+    "device_class", [MainMemoryDevice, RotatingDiskDevice, SolidStateDevice]
+)
+def test_device_cost_functions_are_subadditive(device_class):
+    validate_cost_function(device_class().cost_function(), max_size=128)
+
+
+def test_ssd_erase_accounting():
+    device = SolidStateDevice(page_size=8, erase_block_pages=4, erase_ms=1.0)
+    for _ in range(4):
+        device.move(8)  # one dirty page per move
+    assert device.erases == 1
+
+
+def test_disk_seek_dominates_small_transfers():
+    disk = RotatingDiskDevice(seek_ms=8.0, units_per_ms=128.0)
+    small = disk.transfer_time(1)
+    large = disk.transfer_time(1024)
+    assert small > 7.9
+    assert large < 3 * small  # bandwidth term is secondary at this scale
+
+
+# -------------------------------------------------------------- translation
+def test_translation_layer_checkpoint_and_crash():
+    layer = BlockTranslationLayer()
+    layer.record_allocation("a", Extent(0, 10))
+    layer.record_allocation("b", Extent(10, 10))
+    layer.checkpoint()
+    layer.record_move("a", Extent(30, 10))
+    assert layer.lookup("a") == Extent(30, 10)
+    assert layer.durable_lookup("a") == Extent(0, 10)
+    # The old location of "a" is frozen until the next checkpoint.
+    assert not layer.checkpoints.is_writable(Extent(0, 10))
+    layer.crash()
+    assert layer.lookup("a") == Extent(0, 10)
+    assert "b" in layer and len(layer) == 2
+
+
+def test_translation_layer_free_freezes_space():
+    layer = BlockTranslationLayer()
+    layer.record_allocation("a", Extent(0, 10))
+    layer.checkpoint()
+    layer.record_free("a")
+    assert "a" not in layer
+    assert not layer.checkpoints.is_writable(Extent(0, 10))
+    layer.checkpoint()
+    assert layer.checkpoints.is_writable(Extent(0, 10))
+
+
+def test_verify_recoverable_detects_clobbered_data():
+    layer = BlockTranslationLayer()
+    layer.record_allocation("a", Extent(0, 10))
+    layer.checkpoint()
+    with pytest.raises(RecoveryError):
+        layer.verify_recoverable({"a": Extent(50, 10)})
+    layer.verify_recoverable({"a": Extent(0, 10)})

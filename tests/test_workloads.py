@@ -1,0 +1,193 @@
+"""Tests for the workload generators, size distributions, and trace replay."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import (
+    BimodalSizes,
+    DatabaseBlockSizes,
+    FixedSizes,
+    PowerOfTwoSizes,
+    Request,
+    Trace,
+    UniformSizes,
+    ZipfSizes,
+    churn_trace,
+    database_trace,
+    descending_powers_trace,
+    fragmentation_attack_trace,
+    grow_then_shrink_trace,
+    large_then_small_trace,
+    load_trace,
+    lower_bound_trace,
+    repeated_large_delete_trace,
+    save_trace,
+    sawtooth_trace,
+    sliding_window_trace,
+    small_flood_trace,
+    trace_from_pairs,
+)
+
+ALL_GENERATORS = [
+    lambda: churn_trace(500, seed=1),
+    lambda: grow_then_shrink_trace(100, seed=2, order="fifo"),
+    lambda: grow_then_shrink_trace(100, seed=2, order="lifo"),
+    lambda: grow_then_shrink_trace(100, seed=2, order="random"),
+    lambda: sliding_window_trace(200, window=40, seed=3),
+    lambda: database_trace(500, seed=4),
+    lambda: lower_bound_trace(64),
+    lambda: large_then_small_trace(64, rounds=4),
+    lambda: repeated_large_delete_trace(64),
+    lambda: small_flood_trace(6),
+    lambda: descending_powers_trace(6, waves=3),
+    lambda: fragmentation_attack_trace(30),
+    lambda: sawtooth_trace(40, rounds=3),
+]
+
+
+@pytest.mark.parametrize("generator", ALL_GENERATORS)
+def test_generated_traces_are_well_formed(generator):
+    trace = generator()
+    assert len(trace) > 0
+    # Trace's constructor validates insert-before-delete and no double insert;
+    # also check that sizes are positive and the label is set.
+    assert all(r.size >= 1 for r in trace if r.is_insert)
+    assert trace.label
+    assert trace.delta >= 1
+    assert trace.peak_volume() > 0
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        Request("upsert", "a", 1)
+    with pytest.raises(ValueError):
+        Request.insert("a", 0)
+    assert Request.delete("a").is_delete
+
+
+def test_trace_rejects_inconsistent_sequences():
+    with pytest.raises(ValueError):
+        Trace([Request.delete("ghost")])
+    with pytest.raises(ValueError):
+        Trace([Request.insert("a", 1), Request.insert("a", 2)])
+
+
+def test_trace_statistics():
+    trace = trace_from_pairs(
+        [("insert", "a", 4), ("insert", "b", 6), ("delete", "a", 0), ("insert", "c", 2)]
+    )
+    assert trace.num_inserts == 3
+    assert trace.num_deletes == 1
+    assert trace.delta == 6
+    assert trace.total_inserted_volume == 12
+    assert trace.volume_profile() == [4, 10, 6, 8]
+    assert trace.peak_volume() == 10
+    assert dict(trace.final_live_objects()) == {"b": 6, "c": 2}
+    assert len(trace.prefix(2)) == 2
+
+
+def test_churn_trace_is_deterministic_per_seed():
+    a = churn_trace(300, seed=7)
+    b = churn_trace(300, seed=7)
+    c = churn_trace(300, seed=8)
+    assert [(r.op, r.name, r.size) for r in a] == [(r.op, r.name, r.size) for r in b]
+    assert [(r.op, r.name, r.size) for r in a] != [(r.op, r.name, r.size) for r in c]
+
+
+def test_churn_trace_keeps_live_population_near_target():
+    trace = churn_trace(3000, seed=9, target_live=100)
+    live = 0
+    max_live = 0
+    for request in trace:
+        live += 1 if request.is_insert else -1
+        max_live = max(max_live, live)
+    assert max_live <= 150
+
+
+def test_lower_bound_trace_structure():
+    trace = lower_bound_trace(32)
+    assert trace[0].is_insert and trace[0].size == 32
+    assert trace[-1].is_delete and trace[-1].name == "big"
+    assert trace.num_inserts == 33
+
+
+def test_sliding_window_trace_deletes_in_fifo_order():
+    trace = sliding_window_trace(100, window=10, seed=5)
+    deletions = [r.name for r in trace if r.is_delete]
+    assert deletions == sorted(deletions)
+    assert not trace.final_live_objects()
+
+
+@pytest.mark.parametrize(
+    "distribution",
+    [FixedSizes(8), UniformSizes(1, 64), PowerOfTwoSizes(0, 10), ZipfSizes(1.5, 256),
+     BimodalSizes(4, 512, 0.1), DatabaseBlockSizes(64)],
+    ids=lambda d: d.name,
+)
+def test_size_distributions_produce_positive_sizes(distribution):
+    rng = random.Random(0)
+    samples = [distribution(rng) for _ in range(500)]
+    assert all(size >= 1 for size in samples)
+
+
+def test_power_of_two_distribution_emits_only_powers():
+    rng = random.Random(1)
+    distribution = PowerOfTwoSizes(0, 8)
+    for _ in range(200):
+        size = distribution(rng)
+        assert size & (size - 1) == 0
+
+
+def test_zipf_is_heavy_tailed_towards_small_sizes():
+    rng = random.Random(2)
+    distribution = ZipfSizes(1.5, 128)
+    samples = [distribution(rng) for _ in range(2000)]
+    assert sum(1 for s in samples if s <= 4) > len(samples) / 2
+    assert max(samples) > 16
+
+
+def test_invalid_distribution_parameters():
+    with pytest.raises(ValueError):
+        UniformSizes(5, 4)
+    with pytest.raises(ValueError):
+        ZipfSizes(alpha=0)
+    with pytest.raises(ValueError):
+        BimodalSizes(4, 2)
+    with pytest.raises(ValueError):
+        grow_then_shrink_trace(10, order="sideways")
+
+
+def test_trace_save_and_load_roundtrip(tmp_path):
+    trace = churn_trace(200, seed=11)
+    path = tmp_path / "trace.txt"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert len(loaded) == len(trace)
+    assert loaded.label == trace.label
+    for original, restored in zip(trace, loaded):
+        assert original.op == restored.op
+        assert str(original.name) == restored.name
+        if original.is_insert:
+            assert original.size == restored.size
+
+
+def test_load_trace_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("I a 5\nX nonsense\n")
+    with pytest.raises(ValueError):
+        load_trace(path)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num=st.integers(1, 80),
+    window=st.integers(1, 40),
+    seed=st.integers(0, 5),
+)
+def test_sliding_window_property_all_objects_deleted(num, window, seed):
+    trace = sliding_window_trace(num, window=window, seed=seed)
+    assert trace.num_inserts == num
+    assert trace.num_deletes == num
+    assert not trace.final_live_objects()
