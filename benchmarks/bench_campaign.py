@@ -1,0 +1,80 @@
+"""Campaign engine: serial vs parallel sweep wall-clock.
+
+Times the same campaign matrix once serially and once over a worker pool and
+prints the speedup, tracking how well the sweep scales with ``--jobs``.  The
+quick run uses a small matrix; ``REPRO_BENCH_FULL=1`` sweeps a 100k-request
+campaign per cell, where the fork/pickle overhead is negligible and the
+speedup approaches the machine's core count.
+"""
+
+import os
+import time
+
+from repro.campaign import CampaignSpec, campaign_table, run_campaign
+from repro.metrics.report import ascii_table
+
+
+def _spec(quick: bool) -> CampaignSpec:
+    requests = 4000 if quick else 100_000
+    return CampaignSpec.from_dict(
+        {
+            "name": "bench",
+            "seed": 17,
+            "workloads": [
+                {"kind": "churn", "requests": requests, "target_live": 150},
+                {"kind": "database", "requests": requests},
+            ],
+            "allocators": [
+                {"kind": "cost_oblivious", "epsilon": 0.25},
+                "first_fit",
+            ],
+            "costs": ["linear"],
+            "devices": ["ram"],
+        }
+    )
+
+
+def test_campaign_parallel_speedup(benchmark, quick_mode):
+    spec = _spec(quick_mode)
+    jobs = max(2, min(4, os.cpu_count() or 1))
+
+    started = time.perf_counter()
+    serial = run_campaign(spec, jobs=1)
+    serial_elapsed = time.perf_counter() - started
+
+    parallel = benchmark.pedantic(
+        run_campaign, args=(spec,), kwargs={"jobs": jobs}, rounds=1, iterations=1
+    )
+
+    print()
+    print(campaign_table(parallel).to_text())
+    print()
+    print(
+        ascii_table(
+            ["mode", "jobs", "cells", "wall-clock s", "speedup"],
+            [
+                ["serial", 1, len(serial.records), round(serial_elapsed, 2), 1.0],
+                [
+                    "parallel",
+                    parallel.jobs,
+                    len(parallel.records),
+                    round(parallel.elapsed_seconds, 2),
+                    round(serial_elapsed / max(parallel.elapsed_seconds, 1e-9), 2),
+                ],
+            ],
+            title="campaign sweep: serial vs parallel",
+        )
+    )
+
+    def strip(records):
+        return [
+            {k: v for k, v in record.items() if k != "elapsed_seconds"}
+            for record in records
+        ]
+
+    assert strip(parallel.records) == strip(serial.records)
+    assert all(record["status"] == "ok" for record in parallel.records)
+    # Wall-clock speedup needs real cores and long enough cells to amortise
+    # the pool start-up; only assert it on the full-size run.
+    if not quick_mode and (os.cpu_count() or 1) > 1:
+        assert parallel.elapsed_seconds < serial_elapsed

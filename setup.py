@@ -1,10 +1,26 @@
-"""Setuptools shim so editable installs work without the ``wheel`` package.
+"""Packaging for the reproduction harness.
 
-All project metadata lives in ``pyproject.toml``; this file only exists so
-that ``pip install -e .`` succeeds on minimal, offline environments whose
-setuptools cannot build PEP 517 wheels.
+Metadata lives here (there is no ``pyproject.toml``) so the project installs
+on minimal, offline environments whose setuptools cannot build PEP 517
+wheels.  ``pip install -e .`` exposes the ``repro`` console script alongside
+``python -m repro``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-cost-oblivious-reallocation",
+    version="0.2.0",
+    description=(
+        "Reproduction of cost-oblivious storage reallocation (PODS 2014): "
+        "reallocators, experiment harness, and campaign sweep engine"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    entry_points={
+        "console_scripts": [
+            "repro = repro.cli:main",
+        ]
+    },
+)

@@ -1,0 +1,60 @@
+"""Campaign engine: declarative sweep matrices over the reproduction harness.
+
+A *campaign* expands a declarative spec (workloads x allocators x cost
+functions x device models) into independent cells, runs them — serially or
+over a ``multiprocessing`` pool — with per-cell seeding and fault isolation,
+and writes structured artifacts (``results.json`` / ``results.csv``) plus
+the same ASCII tables the registered experiments print.  The companion
+:mod:`~repro.campaign.analyze` module characterises any trace (footprint
+profile, size/lifetime distributions, death-time grouping) before it is
+swept.
+
+Entry points: ``repro sweep <spec.json> [--jobs N] [--out DIR]`` and
+``repro trace analyze <path>``.
+"""
+
+from repro.campaign.analyze import TraceAnalytics, analytics_result, analyze_trace
+from repro.campaign.artifacts import (
+    campaign_table,
+    campaign_to_dict,
+    load_results,
+    write_results,
+)
+from repro.campaign.executor import CampaignResult, run_campaign, run_cell
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import (
+    ALLOCATOR_KINDS,
+    COST_KINDS,
+    DEVICE_KINDS,
+    CampaignCell,
+    CampaignSpec,
+    SpecError,
+    build_allocator,
+    build_cost,
+    build_device,
+    build_workload,
+)
+
+__all__ = [
+    "ALLOCATOR_KINDS",
+    "COST_KINDS",
+    "DEVICE_KINDS",
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignSpec",
+    "ProgressReporter",
+    "SpecError",
+    "TraceAnalytics",
+    "analytics_result",
+    "analyze_trace",
+    "build_allocator",
+    "build_cost",
+    "build_device",
+    "build_workload",
+    "campaign_table",
+    "campaign_to_dict",
+    "load_results",
+    "run_campaign",
+    "run_cell",
+    "write_results",
+]

@@ -1,0 +1,169 @@
+"""Structured campaign artifacts: ``results.json``, ``results.csv``, tables.
+
+A campaign directory is the durable output of one sweep::
+
+    <out>/
+        spec.json      the expanded input spec (reproducibility)
+        results.json   one record per cell + run metadata
+        results.csv    the same records flattened for spreadsheets / pandas
+
+``results.json`` is the machine-readable source of truth (benchmarks and
+follow-up analysis load it back with :func:`load_results`); the CSV carries
+the scalar columns only.  Terminal rendering reuses the repo-wide
+:class:`~repro.harness.results.ExperimentResult` / ``ascii_table`` path so a
+sweep prints exactly like the registered experiments do.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import Any, Dict, List, Union
+
+from repro.campaign.executor import CampaignResult
+from repro.campaign.spec import CampaignSpec, entry_tag
+from repro.harness.results import ExperimentResult
+
+#: Scalar columns exported to ``results.csv``, in order.
+CSV_COLUMNS = (
+    "index",
+    "cell_id",
+    "status",
+    "seed",
+    "requests",
+    "delta",
+    "inserted_volume",
+    "final_volume",
+    "max_footprint",
+    "max_footprint_ratio",
+    "cost_ratio",
+    "total_moves",
+    "total_moved_volume",
+    "moves_per_insert",
+    "max_request_moved_volume",
+    "device_elapsed_ms",
+    "elapsed_seconds",
+    "error",
+)
+
+
+def campaign_to_dict(result: CampaignResult) -> Dict[str, Any]:
+    """The ``results.json`` document for one campaign run."""
+    return {
+        "format": "repro-campaign-results",
+        "version": 1,
+        "campaign": result.spec.name,
+        "seed": result.spec.seed,
+        "jobs": result.jobs,
+        "elapsed_seconds": round(result.elapsed_seconds, 6),
+        "cells": len(result.records),
+        "ok": len(result.ok_records),
+        "errors": len(result.error_records),
+        "spec": result.spec.to_dict(),
+        "records": result.records,
+    }
+
+
+def write_results(result: CampaignResult, out_dir: Union[str, os.PathLike]) -> Dict[str, str]:
+    """Write ``spec.json`` / ``results.json`` / ``results.csv`` under ``out_dir``.
+
+    Returns the paths written, keyed by artifact name.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    paths = {
+        "spec": os.path.join(out_dir, "spec.json"),
+        "results": os.path.join(out_dir, "results.json"),
+        "csv": os.path.join(out_dir, "results.csv"),
+    }
+    with open(paths["spec"], "w", encoding="utf-8") as handle:
+        json.dump(result.spec.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    with open(paths["results"], "w", encoding="utf-8") as handle:
+        json.dump(campaign_to_dict(result), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    with open(paths["csv"], "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_COLUMNS)
+        for record in result.records:
+            writer.writerow(_csv_row(record))
+    return paths
+
+
+def _csv_row(record: Dict[str, Any]) -> List[Any]:
+    row = []
+    for column in CSV_COLUMNS:
+        if column == "error":
+            error = record.get("error", "")
+            row.append(error.strip().splitlines()[-1] if error else "")
+        else:
+            row.append(record.get(column, ""))
+    return row
+
+
+def load_results(path: Union[str, os.PathLike]) -> Dict[str, Any]:
+    """Load a ``results.json`` document, checking its format marker."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != "repro-campaign-results":
+        raise ValueError(f"{path} is not a repro campaign results file")
+    return document
+
+
+def campaign_table(result: CampaignResult) -> ExperimentResult:
+    """One summary row per cell, rendered like a registered experiment."""
+    table = ExperimentResult(
+        experiment_id="SWEEP",
+        title=(
+            f"Campaign {result.spec.name!r}: {len(result.records)} cells, "
+            f"{len(result.error_records)} errors, jobs={result.jobs}, "
+            f"{result.elapsed_seconds:.2f}s"
+        ),
+        headers=[
+            "workload",
+            "allocator",
+            "cost",
+            "device",
+            "status",
+            "max footprint/V",
+            "cost ratio",
+            "moved volume",
+            "device ms",
+        ],
+    )
+    for record in result.records:
+        if record["status"] == "ok":
+            table.rows.append(
+                [
+                    entry_tag(record["workload"]),
+                    entry_tag(record["allocator"]),
+                    entry_tag(record["cost"]),
+                    entry_tag(record["device"]),
+                    "ok",
+                    round(record["max_footprint_ratio"], 3),
+                    round(record["cost_ratio"], 2),
+                    record["total_moved_volume"],
+                    record.get("device_elapsed_ms", "-"),
+                ]
+            )
+        else:
+            error = record.get("error", "").strip().splitlines()
+            table.rows.append(
+                [
+                    entry_tag(record["workload"]),
+                    entry_tag(record["allocator"]),
+                    entry_tag(record["cost"]),
+                    entry_tag(record["device"]),
+                    "ERROR",
+                    "-",
+                    "-",
+                    "-",
+                    error[-1][:60] if error else "?",
+                ]
+            )
+    if result.error_records:
+        table.notes.append(
+            f"{len(result.error_records)} cell(s) failed; full tracebacks are in "
+            "results.json (status == 'error')."
+        )
+    return table

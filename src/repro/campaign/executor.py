@@ -1,0 +1,175 @@
+"""Parallel campaign execution.
+
+Each :class:`~repro.campaign.spec.CampaignCell` is an independent unit of
+work: build the trace from the cell seed, replay it on a freshly built
+allocator, drive the cell's device model with every write and move, then
+charge the execution under the cell's cost function.  Cells are therefore
+embarrassingly parallel, and :func:`run_campaign` fans them out over a
+``multiprocessing`` pool when ``jobs > 1``.
+
+Fault isolation: the worker traps *any* exception (unknown spec kinds, bad
+parameters, allocator bugs mid-trace) and returns an error record carrying
+the traceback, so one broken cell shows up in the artifact instead of
+killing the sweep.  Determinism: a cell's result depends only on its payload
+(the seed is derived in the spec layer), so a parallel run produces exactly
+the same records as a serial one, just possibly finishing out of order; the
+campaign reorders them by cell index before returning.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.campaign.spec import (
+    CampaignCell,
+    CampaignSpec,
+    build_allocator,
+    build_cost,
+    build_device,
+    build_workload,
+)
+
+#: Called after each cell finishes: ``progress(done, total, record)``.
+ProgressCallback = Callable[[int, int, Dict[str, Any]], None]
+
+
+@dataclass
+class CampaignResult:
+    """All per-cell records of one campaign run plus run-level timing."""
+
+    spec: CampaignSpec
+    records: List[Dict[str, Any]]
+    jobs: int
+    elapsed_seconds: float
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok_records(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r["status"] == "ok"]
+
+    @property
+    def error_records(self) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r["status"] == "error"]
+
+
+def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one campaign cell; never raises (errors become records)."""
+    started = time.perf_counter()
+    record: Dict[str, Any] = {
+        "index": payload["index"],
+        "cell_id": payload["cell_id"],
+        "workload": payload["workload"],
+        "allocator": payload["allocator"],
+        "cost": payload["cost"],
+        "device": payload["device"],
+        "seed": payload["seed"],
+    }
+    try:
+        record.update(_execute(payload))
+        record["status"] = "ok"
+    except Exception:
+        record["status"] = "error"
+        record["error"] = traceback.format_exc(limit=20)
+    record["elapsed_seconds"] = round(time.perf_counter() - started, 6)
+    return record
+
+
+def _execute(payload: Dict[str, Any]) -> Dict[str, Any]:
+    trace = build_workload(payload["workload"], seed=payload["seed"])
+    allocator = build_allocator(payload["allocator"])
+    cost = build_cost(payload["cost"])
+    device = build_device(payload["device"])
+
+    for request in trace:
+        if request.is_insert:
+            record = allocator.insert(request.name, request.size)
+            if device is not None:
+                device.write(request.size)
+        else:
+            record = allocator.delete(request.name)
+        if device is not None:
+            for move in record.moves:
+                if move.is_reallocation:
+                    device.move(move.size)
+    if hasattr(allocator, "finish_pending_work"):
+        allocator.finish_pending_work()
+
+    stats = allocator.stats
+    result: Dict[str, Any] = {
+        "trace_label": trace.label,
+        "requests": len(trace),
+        "inserts": trace.num_inserts,
+        "deletes": trace.num_deletes,
+        "delta": trace.delta,
+        "inserted_volume": trace.total_inserted_volume,
+        "final_volume": allocator.volume,
+        "final_footprint": allocator.footprint,
+        "max_footprint": stats.max_footprint,
+        "max_footprint_ratio": round(stats.max_footprint_ratio, 6),
+        "cost_ratio": round(stats.cost_ratio(cost), 6),
+        "total_moves": stats.total_moves,
+        "total_moved_volume": stats.total_moved_volume,
+        "moves_per_insert": round(stats.amortized_moves_per_insert, 6),
+        "max_request_moved_volume": stats.max_request_moved_volume,
+    }
+    if device is not None:
+        result["device_elapsed_ms"] = round(device.stats.elapsed_ms, 3)
+        result["device_units_written"] = device.stats.units_written
+        result["device_moves"] = device.stats.moves
+    return result
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignResult:
+    """Run every cell of ``spec``, serially or over ``jobs`` processes.
+
+    ``jobs <= 0`` means one worker per available CPU.  The returned records
+    are ordered by cell index regardless of completion order.
+    """
+    cells = spec.expand()
+    payloads = [cell.payload() for cell in cells]
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    jobs = min(jobs, max(1, len(payloads)))
+
+    started = time.perf_counter()
+    records: List[Dict[str, Any]] = []
+    if jobs == 1:
+        for payload in payloads:
+            record = run_cell(payload)
+            records.append(record)
+            if progress is not None:
+                progress(len(records), len(payloads), record)
+    else:
+        with multiprocessing.Pool(processes=jobs) as pool:
+            for record in pool.imap_unordered(run_cell, payloads):
+                records.append(record)
+                if progress is not None:
+                    progress(len(records), len(payloads), record)
+    records.sort(key=lambda r: r["index"])
+    elapsed = time.perf_counter() - started
+
+    return CampaignResult(
+        spec=spec,
+        records=records,
+        jobs=jobs,
+        elapsed_seconds=elapsed,
+        metadata={
+            "cells": len(records),
+            "ok": sum(1 for r in records if r["status"] == "ok"),
+            "errors": sum(1 for r in records if r["status"] == "error"),
+        },
+    )
+
+
+def run_cells_serial(cells: List[CampaignCell]) -> List[Dict[str, Any]]:
+    """Run an explicit cell list serially (used by tests and benchmarks)."""
+    return [run_cell(cell.payload()) for cell in cells]

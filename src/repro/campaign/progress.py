@@ -1,0 +1,38 @@
+"""Terminal progress reporting for campaign sweeps.
+
+The executor calls a plain callback after every finished cell; this module
+provides the default one the CLI installs: a single status line per cell on
+``stderr`` (so stdout stays clean for the final tables and artifacts), plus
+a short run summary.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, Optional, TextIO
+
+
+class ProgressReporter:
+    """Prints ``[done/total] status cell_id (elapsed)`` per finished cell."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self.errors = 0
+
+    def __call__(self, done: int, total: int, record: Dict[str, Any]) -> None:
+        status = record["status"]
+        if status != "ok":
+            self.errors += 1
+        width = len(str(total))
+        self.stream.write(
+            f"[{str(done).rjust(width)}/{total}] "
+            f"{'ok   ' if status == 'ok' else 'ERROR'} "
+            f"{record['cell_id']} ({record['elapsed_seconds']:.2f}s)\n"
+        )
+        self.stream.flush()
+
+    def summary(self, total: int, elapsed_seconds: float) -> None:
+        self.stream.write(
+            f"{total} cells in {elapsed_seconds:.2f}s, {self.errors} error(s)\n"
+        )
+        self.stream.flush()

@@ -1,4 +1,4 @@
-"""Command-line entry point: list and run the registered experiments.
+"""Command-line entry point: experiments, campaign sweeps, trace analytics.
 
 Examples
 --------
@@ -11,9 +11,13 @@ Run the footprint experiment with full-size traces::
 
     python -m repro run E1 --full
 
-Run every experiment quickly (the same tables the benchmarks print)::
+Sweep a campaign matrix over four worker processes::
 
-    python -m repro run all
+    python -m repro sweep campaign.json --jobs 4 --out results/demo
+
+Characterise a recorded trace before sweeping it::
+
+    python -m repro trace analyze traces/prod.trace
 """
 
 from __future__ import annotations
@@ -41,7 +45,99 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use full-size traces instead of the quick defaults",
     )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a campaign spec (workloads x allocators x costs x devices)"
+    )
+    sweep_parser.add_argument("spec", help="path to a campaign spec JSON file")
+    sweep_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes (default 1 = serial; 0 = one per CPU)",
+    )
+    sweep_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="artifact directory (default: campaign-<spec name>)",
+    )
+    sweep_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-cell progress lines on stderr",
+    )
+
+    trace_parser = subparsers.add_parser("trace", help="trace file utilities")
+    trace_sub = trace_parser.add_subparsers(dest="trace_command")
+    analyze_parser = trace_sub.add_parser(
+        "analyze", help="print footprint / size / lifetime / death-time analytics"
+    )
+    analyze_parser.add_argument("path", help="path to a trace file (v0 or v1 format)")
     return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    targets = sorted(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
+    for target in targets:
+        try:
+            result = run_experiment(target, quick=not args.full)
+        except KeyError as error:
+            # get_experiment raises KeyError("unknown experiment 'X'; known: ...").
+            print(f"repro run: {error.args[0]}", file=sys.stderr)
+            return 2
+        print(result.to_text())
+        print()
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        CampaignSpec,
+        ProgressReporter,
+        SpecError,
+        campaign_table,
+        run_campaign,
+        write_results,
+    )
+
+    try:
+        spec = CampaignSpec.from_json(args.spec)
+    except (OSError, ValueError) as error:
+        print(f"repro sweep: cannot load spec {args.spec!r}: {error}", file=sys.stderr)
+        return 2
+    reporter = None if args.quiet else ProgressReporter()
+    result = run_campaign(spec, jobs=args.jobs, progress=reporter)
+    if reporter is not None:
+        reporter.summary(len(result.records), result.elapsed_seconds)
+    out_dir = args.out if args.out is not None else f"campaign-{spec.name}"
+    paths = write_results(result, out_dir)
+    print(campaign_table(result).to_text())
+    print()
+    print(f"artifacts: {paths['results']}  {paths['csv']}")
+    # Any failed cell makes the sweep exit nonzero so CI can gate on it; the
+    # sweep itself still ran to completion and wrote every record.
+    return 1 if result.error_records else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command != "analyze":
+        print("repro trace: choose a subcommand (try: repro trace analyze <path>)", file=sys.stderr)
+        return 2
+    from repro.campaign import analytics_result, analyze_trace
+    from repro.workloads import load_trace
+
+    try:
+        trace = load_trace(args.path)
+    except (OSError, ValueError) as error:
+        print(f"repro trace analyze: {error}", file=sys.stderr)
+        return 2
+    result = analytics_result(analyze_trace(trace))
+    print(result.to_text())
+    if trace.metadata:
+        print(f"metadata: {trace.metadata}")
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -54,12 +150,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{key.ljust(width)}  {experiment.title}  [{experiment.paper_reference}]")
         return 0
     if args.command == "run":
-        targets = sorted(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
-        for target in targets:
-            result = run_experiment(target, quick=not args.full)
-            print(result.to_text())
-            print()
-        return 0
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     parser.print_help()
     return 1
 

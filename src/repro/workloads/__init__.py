@@ -33,7 +33,7 @@ from repro.workloads.adversarial import (
     fragmentation_attack_trace,
     sawtooth_trace,
 )
-from repro.workloads.replay import save_trace, load_trace
+from repro.workloads.replay import TRACE_FORMAT_VERSION, save_trace, load_trace
 
 __all__ = [
     "Request",
@@ -59,4 +59,5 @@ __all__ = [
     "sawtooth_trace",
     "save_trace",
     "load_trace",
+    "TRACE_FORMAT_VERSION",
 ]

@@ -41,11 +41,22 @@ class Request:
 
 
 class Trace:
-    """An ordered sequence of requests plus convenience statistics."""
+    """An ordered sequence of requests plus convenience statistics.
 
-    def __init__(self, requests: Iterable[Request], label: str = "trace") -> None:
+    ``metadata`` is a free-form dict carried alongside the requests (seed,
+    generator parameters, provenance); the v1 trace file format round-trips
+    it, and campaign workloads stamp it with their spec entry.
+    """
+
+    def __init__(
+        self,
+        requests: Iterable[Request],
+        label: str = "trace",
+        metadata: Optional[dict] = None,
+    ) -> None:
         self.requests: List[Request] = list(requests)
         self.label = label
+        self.metadata: dict = dict(metadata) if metadata else {}
         self._validate()
 
     def _validate(self) -> None:
@@ -119,7 +130,7 @@ class Trace:
     def prefix(self, count: int, label: Optional[str] = None) -> "Trace":
         """A shorter trace consisting of the first ``count`` requests that is
         still well-formed (dangling deletes cannot occur in a prefix)."""
-        return Trace(self.requests[:count], label or f"{self.label}[:{count}]")
+        return Trace(self.requests[:count], label or f"{self.label}[:{count}]", metadata=self.metadata)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

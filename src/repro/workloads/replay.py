@@ -1,58 +1,178 @@
-"""Plain-text trace recording and replay.
+"""Plain-text trace recording and replay, with a versioned header.
 
-Traces are stored one request per line::
+Two on-disk formats are supported:
 
-    I <name> <size>
-    D <name>
+* **v1** (written by default) starts with a ``# repro-trace v1`` header line
+  followed by optional ``# label <quoted>`` and ``# meta <json>`` lines, then
+  one request per line::
 
-so they can be generated once, inspected with standard tools, diffed, and
-replayed bit-for-bit across machines.
+        # repro-trace v1
+        # label churn%20demo
+        # meta {"seed": 7}
+        I <quoted-name> <size>
+        D <quoted-name>
+
+  Object names and the label are percent-encoded (``urllib.parse.quote`` with
+  no safe characters), so names containing whitespace, newlines, ``#`` or
+  ``%`` round-trip exactly.
+
+* **v0** (the historical format, still readable and writable) has no version
+  header — just an optional ``# trace <label>`` comment and raw ``I name
+  size`` / ``D name`` lines split on whitespace.  Because names are written
+  raw, ``save_trace(..., version=0)`` refuses names or labels containing
+  whitespace with a clear error instead of silently corrupting the file the
+  way the original writer did.
+
+Names are stringified on save in both formats: a trace whose names are the
+integers ``1, 2, ...`` loads back with the string names ``"1", "2", ...``.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Union
+from typing import Any, Dict, Optional, Union
+from urllib.parse import quote, unquote
 
 from repro.workloads.base import Request, Trace
 
+#: Version written by :func:`save_trace` when none is requested.
+TRACE_FORMAT_VERSION = 1
 
-def save_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
-    """Write ``trace`` to ``path`` in the one-request-per-line text format."""
+_V1_HEADER = "# repro-trace v1"
+
+
+def _check_v0_token(token: str, what: str, path: Union[str, os.PathLike]) -> str:
+    if token != token.strip() or any(ch.isspace() for ch in token):
+        raise ValueError(
+            f"cannot save {what} {token!r} to {path} in the v0 trace format: "
+            "it contains whitespace and would be misparsed on load; "
+            "save with version=1 (the default) instead"
+        )
+    if not token:
+        raise ValueError(f"cannot save an empty {what} to {path} in the v0 trace format")
+    return token
+
+
+def save_trace(
+    trace: Trace,
+    path: Union[str, os.PathLike],
+    metadata: Optional[Dict[str, Any]] = None,
+    version: int = TRACE_FORMAT_VERSION,
+) -> None:
+    """Write ``trace`` to ``path`` in the one-request-per-line text format.
+
+    ``metadata`` (JSON-serialisable dict) is stored in the v1 header and comes
+    back as ``trace.metadata`` on load; requesting ``version=0`` with metadata
+    is an error since v0 has nowhere to put it.
+    """
+    if version == 0:
+        if metadata:
+            raise ValueError("the v0 trace format cannot carry metadata; use version=1")
+        if "\n" in trace.label or "\r" in trace.label:
+            raise ValueError(f"cannot save label {trace.label!r} with newlines in v0 format")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(f"# trace {trace.label}\n")
+            for request in trace:
+                name = _check_v0_token(str(request.name), "object name", path)
+                if request.is_insert:
+                    handle.write(f"I {name} {request.size}\n")
+                else:
+                    handle.write(f"D {name}\n")
+        return
+    if version != 1:
+        raise ValueError(f"unknown trace format version {version!r}; known: 0, 1")
+    merged = dict(trace.metadata)
+    if metadata:
+        merged.update(metadata)
     with open(path, "w", encoding="utf-8") as handle:
-        handle.write(f"# trace {trace.label}\n")
+        handle.write(_V1_HEADER + "\n")
+        handle.write(f"# label {quote(trace.label, safe='')}\n")
+        if merged:
+            handle.write(f"# meta {json.dumps(merged, sort_keys=True)}\n")
         for request in trace:
+            name = quote(str(request.name), safe="")
+            if not name:
+                raise ValueError(
+                    f"cannot save an object with an empty name to {path}: "
+                    "the line-oriented trace format needs a non-empty name field"
+                )
             if request.is_insert:
-                handle.write(f"I {request.name} {request.size}\n")
+                handle.write(f"I {name} {request.size}\n")
             else:
-                handle.write(f"D {request.name}\n")
+                handle.write(f"D {name}\n")
 
 
 def load_trace(path: Union[str, os.PathLike], label: str = "") -> Trace:
-    """Read a trace previously written by :func:`save_trace`.
+    """Read a trace previously written by :func:`save_trace` (v0 or v1).
 
-    Object names are read back as strings; sizes as integers.
+    The format is detected from the first line; object names come back as
+    strings and sizes as integers.  An explicit ``label`` argument overrides
+    whatever the file header carries.
     """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if lines and lines[0].strip() == _V1_HEADER:
+        return _parse_v1(lines, path, label)
+    if lines and lines[0].strip().startswith("# repro-trace "):
+        raise ValueError(
+            f"{path}:1: unsupported trace format {lines[0].strip()!r}; "
+            f"this reader knows v0 and v1"
+        )
+    return _parse_v0(lines, path, label)
+
+
+def _parse_record(line: str, line_number: int, path, decode) -> Request:
+    parts = line.split()
+    if parts[0] == "I":
+        if len(parts) != 3:
+            raise ValueError(f"{path}:{line_number}: malformed insert {line!r}")
+        return Request.insert(decode(parts[1]), int(parts[2]))
+    if parts[0] == "D":
+        if len(parts) != 2:
+            raise ValueError(f"{path}:{line_number}: malformed delete {line!r}")
+        return Request.delete(decode(parts[1]))
+    raise ValueError(f"{path}:{line_number}: unknown record {line!r}")
+
+
+def _parse_v0(lines, path, label: str) -> Trace:
     requests = []
     trace_label = label or os.path.basename(str(path))
-    with open(path, "r", encoding="utf-8") as handle:
-        for line_number, raw in enumerate(handle, start=1):
-            line = raw.strip()
-            if not line:
-                continue
-            if line.startswith("#"):
-                if line.startswith("# trace ") and not label:
-                    trace_label = line[len("# trace "):]
-                continue
-            parts = line.split()
-            if parts[0] == "I":
-                if len(parts) != 3:
-                    raise ValueError(f"{path}:{line_number}: malformed insert {line!r}")
-                requests.append(Request.insert(parts[1], int(parts[2])))
-            elif parts[0] == "D":
-                if len(parts) != 2:
-                    raise ValueError(f"{path}:{line_number}: malformed delete {line!r}")
-                requests.append(Request.delete(parts[1]))
-            else:
-                raise ValueError(f"{path}:{line_number}: unknown record {line!r}")
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("# trace ") and not label:
+                trace_label = line[len("# trace "):]
+            continue
+        requests.append(_parse_record(line, line_number, path, decode=str))
     return Trace(requests, label=trace_label)
+
+
+def _parse_v1(lines, path, label: str) -> Trace:
+    requests = []
+    trace_label = label or os.path.basename(str(path))
+    metadata: Dict[str, Any] = {}
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if line_number == 1 or not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("# label ") and not label:
+                trace_label = unquote(line[len("# label "):].strip())
+            elif line.startswith("# meta "):
+                try:
+                    metadata = json.loads(line[len("# meta "):])
+                except json.JSONDecodeError as error:
+                    raise ValueError(
+                        f"{path}:{line_number}: malformed metadata JSON: {error}"
+                    ) from error
+                if not isinstance(metadata, dict):
+                    raise ValueError(
+                        f"{path}:{line_number}: trace metadata must be a JSON object, "
+                        f"got {type(metadata).__name__}"
+                    )
+            continue
+        requests.append(_parse_record(line, line_number, path, decode=unquote))
+    return Trace(requests, label=trace_label, metadata=metadata)

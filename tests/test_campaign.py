@@ -1,0 +1,240 @@
+"""Tests for the campaign engine: spec expansion, execution, analytics, CLI."""
+
+import csv
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    SpecError,
+    analyze_trace,
+    build_workload,
+    campaign_table,
+    load_results,
+    run_campaign,
+    write_results,
+)
+from repro.cli import main
+from repro.workloads import churn_trace, grow_then_shrink_trace, save_trace
+
+
+def small_spec(**overrides):
+    raw = {
+        "name": "unit",
+        "seed": 5,
+        "workloads": [
+            {"kind": "churn", "requests": 300, "target_live": 40},
+            {"kind": "grow_shrink", "requests": 200},
+        ],
+        "allocators": [{"kind": "cost_oblivious", "epsilon": 0.5}, "first_fit"],
+        "costs": ["linear", "constant"],
+        "devices": ["ram"],
+    }
+    raw.update(overrides)
+    return CampaignSpec.from_dict(raw)
+
+
+def comparable(records):
+    """Strip timing (non-deterministic) fields from cell records."""
+    stripped = []
+    for record in records:
+        copy = {k: v for k, v in record.items() if k not in ("elapsed_seconds",)}
+        stripped.append(copy)
+    return stripped
+
+
+# ----------------------------------------------------------------- spec layer
+def test_expansion_is_the_full_cross_product():
+    cells = small_spec().expand()
+    assert len(cells) == 2 * 2 * 2 * 1
+    assert [cell.index for cell in cells] == list(range(8))
+    assert len({cell.cell_id for cell in cells}) == 8
+
+
+def test_cell_seed_depends_only_on_the_workload_axis():
+    cells = small_spec().expand()
+    by_workload = {}
+    for cell in cells:
+        by_workload.setdefault(json.dumps(cell.workload, sort_keys=True), set()).add(cell.seed)
+    assert all(len(seeds) == 1 for seeds in by_workload.values())
+    assert len({next(iter(s)) for s in by_workload.values()}) == 2
+
+
+def test_spec_rejects_unknown_keys_and_empty_axes():
+    with pytest.raises(SpecError, match="unknown spec keys"):
+        CampaignSpec.from_dict({"workloads": ["churn"], "allocators": ["first_fit"], "x": 1})
+    with pytest.raises(SpecError, match="at least one workload"):
+        CampaignSpec.from_dict({"allocators": ["first_fit"]})
+    with pytest.raises(SpecError, match="at least one allocator"):
+        CampaignSpec.from_dict({"workloads": ["churn"]})
+
+
+def test_validate_flags_unknown_kinds_eagerly():
+    spec = small_spec(allocators=["first_fit", "no_such_allocator"])
+    with pytest.raises(SpecError, match="no_such_allocator"):
+        spec.validate()
+    small_spec().validate()
+
+
+def test_build_workload_is_deterministic_for_a_seed():
+    entry = {"kind": "churn", "requests": 120, "target_live": 20}
+    first = build_workload(entry, seed=9)
+    second = build_workload(entry, seed=9)
+    assert [(r.op, r.name, r.size) for r in first] == [(r.op, r.name, r.size) for r in second]
+    assert first.metadata["workload"] == entry
+    assert first.metadata["seed"] == 9
+
+
+# ------------------------------------------------------------------ execution
+def test_serial_campaign_smoke():
+    result = run_campaign(small_spec(), jobs=1)
+    assert len(result.records) == 8
+    assert all(record["status"] == "ok" for record in result.records)
+    assert all(record["requests"] > 0 for record in result.records)
+    # The same execution charged under two cost functions keeps every
+    # non-cost metric identical.
+    by_pair = {}
+    for record in result.records:
+        key = (json.dumps(record["workload"]), json.dumps(record["allocator"]))
+        by_pair.setdefault(key, []).append(record)
+    for pair_records in by_pair.values():
+        footprints = {record["max_footprint_ratio"] for record in pair_records}
+        assert len(footprints) == 1
+
+
+def test_parallel_run_equals_serial_run():
+    spec = small_spec()
+    serial = run_campaign(spec, jobs=1)
+    parallel = run_campaign(spec, jobs=2)
+    assert parallel.jobs == 2
+    assert comparable(parallel.records) == comparable(serial.records)
+
+
+def test_crashing_cell_is_isolated():
+    spec = small_spec(allocators=[{"kind": "cost_oblivious", "epsilon": 0.5}, "kaboom"])
+    result = run_campaign(spec, jobs=2)
+    assert len(result.records) == 8
+    assert len(result.error_records) == 4
+    assert len(result.ok_records) == 4
+    for record in result.error_records:
+        assert "kaboom" in record["error"]
+        assert record["allocator"]["kind"] == "kaboom"
+    # The table renders error rows instead of raising.
+    assert "ERROR" in campaign_table(result).to_text()
+
+
+def test_artifacts_round_trip(tmp_path):
+    result = run_campaign(small_spec(), jobs=1)
+    paths = write_results(result, tmp_path / "out")
+    document = load_results(paths["results"])
+    assert document["cells"] == 8
+    assert document["ok"] == 8
+    assert len(document["records"]) == 8
+    assert document["spec"]["name"] == "unit"
+    with open(paths["csv"], newline="", encoding="utf-8") as handle:
+        rows = list(csv.reader(handle))
+    assert len(rows) == 1 + 8
+    header = rows[0]
+    assert "cost_ratio" in header and "max_footprint_ratio" in header
+    assert not (tmp_path / "out" / "missing").exists()
+
+
+def test_load_results_rejects_foreign_json(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"hello": 1}), encoding="utf-8")
+    with pytest.raises(ValueError, match="not a repro campaign results file"):
+        load_results(path)
+
+
+# ------------------------------------------------------------------ analytics
+def test_analyze_trace_conserves_volume():
+    trace = churn_trace(400, target_live=50, seed=2)
+    analytics = analyze_trace(trace)
+    died = sum(bucket["volume"] for bucket in analytics.death_groups)
+    assert died + analytics.immortal_volume == analytics.inserted_volume
+    assert analytics.peak_volume == trace.peak_volume()
+    assert analytics.inserts == trace.num_inserts
+    assert analytics.deletes == trace.num_deletes
+    assert analytics.delta == trace.delta
+    assert sum(bucket["count"] for bucket in analytics.histogram) == analytics.inserts
+
+
+def test_analyze_trace_lifetimes_grow_shrink():
+    trace = grow_then_shrink_trace(50, seed=1, order="fifo")
+    analytics = analyze_trace(trace)
+    assert analytics.immortal_objects == 0
+    # FIFO deletion: every object lives exactly `num_objects` requests.
+    assert analytics.lifetimes["p50"] == 50
+    assert analytics.lifetimes["max"] == 50
+
+
+def test_analyze_empty_trace():
+    from repro.workloads import Trace
+
+    analytics = analyze_trace(Trace([], label="empty"))
+    assert analytics.requests == 0
+    assert analytics.peak_volume == 0
+    assert analytics.turnover == 0
+
+
+# ------------------------------------------------------------------------ CLI
+def write_spec(tmp_path, **overrides):
+    raw = {
+        "name": "cli",
+        "seed": 1,
+        "workloads": [{"kind": "churn", "requests": 150, "target_live": 25}],
+        "allocators": ["first_fit", {"kind": "cost_oblivious", "epsilon": 0.5}],
+        "costs": ["linear"],
+    }
+    raw.update(overrides)
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(raw), encoding="utf-8")
+    return path
+
+
+def test_cli_sweep_writes_artifacts(tmp_path, capsys):
+    spec_path = write_spec(tmp_path)
+    out_dir = tmp_path / "out"
+    assert main(["sweep", str(spec_path), "--jobs", "2", "--out", str(out_dir), "--quiet"]) == 0
+    captured = capsys.readouterr()
+    assert "Campaign 'cli'" in captured.out
+    document = load_results(out_dir / "results.json")
+    assert document["cells"] == 2
+    assert (out_dir / "results.csv").exists()
+    assert (out_dir / "spec.json").exists()
+
+
+def test_cli_sweep_missing_spec_fails_cleanly(tmp_path, capsys):
+    assert main(["sweep", str(tmp_path / "nope.json")]) == 2
+    assert "cannot load spec" in capsys.readouterr().err
+
+
+def test_cli_sweep_all_cells_failing_returns_error(tmp_path, capsys):
+    spec_path = write_spec(tmp_path, allocators=["kaboom"])
+    assert main(["sweep", str(spec_path), "--out", str(tmp_path / "out"), "--quiet"]) == 1
+    document = load_results(tmp_path / "out" / "results.json")
+    assert document["errors"] == 1
+
+
+def test_cli_sweep_partial_failure_exits_nonzero(tmp_path, capsys):
+    spec_path = write_spec(tmp_path, allocators=["first_fit", "kaboom"])
+    assert main(["sweep", str(spec_path), "--out", str(tmp_path / "out"), "--quiet"]) == 1
+    document = load_results(tmp_path / "out" / "results.json")
+    assert document["ok"] == 1 and document["errors"] == 1
+
+
+def test_cli_trace_analyze(tmp_path, capsys):
+    trace = churn_trace(200, target_live=30, seed=3, label="cli trace")
+    path = tmp_path / "t.trace"
+    save_trace(trace, path, metadata={"seed": 3})
+    assert main(["trace", "analyze", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "Trace analytics" in out
+    assert "Death-time grouping" in out
+    assert "metadata" in out
+
+
+def test_cli_trace_analyze_missing_file(tmp_path, capsys):
+    assert main(["trace", "analyze", str(tmp_path / "nope")]) == 2
+    assert "repro trace analyze" in capsys.readouterr().err

@@ -1,7 +1,5 @@
 """Tests for the command-line interface."""
 
-import pytest
-
 from repro.cli import main
 
 
@@ -24,6 +22,8 @@ def test_run_single_experiment(capsys):
     assert "flush" in out
 
 
-def test_run_unknown_experiment_raises():
-    with pytest.raises(KeyError):
-        main(["run", "E42"])
+def test_run_unknown_experiment_exits_with_status_2(capsys):
+    assert main(["run", "E42"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+    assert "E1" in err  # the known-ids list is printed

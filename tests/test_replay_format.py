@@ -1,0 +1,162 @@
+"""Round-trip tests for the versioned trace file format (v0 and v1)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.workloads import Request, Trace, load_trace, save_trace
+from repro.workloads.replay import TRACE_FORMAT_VERSION
+
+
+def build_trace(names, sizes, shuffle_seed, label="t", metadata=None):
+    """A well-formed trace inserting every name and deleting a prefix of them
+    in a seed-determined order (so deletes never dangle)."""
+    requests = [Request.insert(name, size) for name, size in zip(names, sizes)]
+    rng = random.Random(shuffle_seed)
+    victims = list(names)
+    rng.shuffle(victims)
+    requests.extend(Request.delete(name) for name in victims[: len(victims) // 2])
+    return Trace(requests, label=label, metadata=metadata)
+
+
+def assert_round_trip(trace, loaded):
+    assert len(loaded) == len(trace)
+    for original, copy in zip(trace, loaded):
+        assert copy.op == original.op
+        assert copy.name == str(original.name)
+        if original.is_insert:
+            assert copy.size == original.size
+
+
+names_strategy = st.lists(
+    st.text(min_size=1, max_size=12),
+    min_size=0,
+    max_size=12,
+    unique=True,
+)
+
+
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(names=names_strategy, data=st.data())
+def test_v1_round_trip_arbitrary_names(tmp_path_factory, names, data):
+    """v1 survives whitespace, newlines, '#', '%', and unicode in names."""
+    sizes = [data.draw(st.integers(min_value=1, max_value=512)) for _ in names]
+    trace = build_trace(names, sizes, shuffle_seed=data.draw(st.integers(0, 99)))
+    path = tmp_path_factory.mktemp("v1") / "trace.txt"
+    save_trace(trace, path)
+    assert_round_trip(trace, load_trace(path))
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["a b", "tab\tname", "line\nbreak", "# comment", "I", "D 5", "100%", "naïve name", " "],
+)
+def test_v1_round_trips_one_odd_name(tmp_path, name):
+    trace = Trace([Request.insert(name, 7), Request.delete(name)], label="odd")
+    path = tmp_path / "odd.txt"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert [r.name for r in loaded] == [name, name]
+
+
+def test_v1_label_and_metadata_round_trip(tmp_path):
+    trace = Trace(
+        [Request.insert("x", 3)],
+        label="churn demo\nwith newline",
+        metadata={"seed": 7, "kind": "churn"},
+    )
+    path = tmp_path / "meta.txt"
+    save_trace(trace, path, metadata={"extra": True})
+    loaded = load_trace(path)
+    assert loaded.label == "churn demo\nwith newline"
+    assert loaded.metadata == {"seed": 7, "kind": "churn", "extra": True}
+    assert load_trace(path, label="override").label == "override"
+
+
+@pytest.mark.parametrize("version", [0, 1])
+def test_empty_trace_round_trips(tmp_path, version):
+    path = tmp_path / f"empty-v{version}.txt"
+    save_trace(Trace([], label="empty"), path, version=version)
+    loaded = load_trace(path)
+    assert len(loaded) == 0
+    assert loaded.label == "empty"
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    names=st.lists(
+        st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+            min_size=1,
+            max_size=8,
+        ),
+        min_size=0,
+        max_size=10,
+        unique=True,
+    ),
+    data=st.data(),
+)
+def test_v0_round_trip_safe_names(tmp_path_factory, names, data):
+    sizes = [data.draw(st.integers(min_value=1, max_value=64)) for _ in names]
+    trace = build_trace(names, sizes, shuffle_seed=data.draw(st.integers(0, 99)))
+    path = tmp_path_factory.mktemp("v0") / "trace.txt"
+    save_trace(trace, path, version=0)
+    assert_round_trip(trace, load_trace(path))
+
+
+@pytest.mark.parametrize("name", ["a b", "tab\tname", "line\nbreak", ""])
+def test_v0_save_rejects_unsafe_names_with_clear_error(tmp_path, name):
+    trace = Trace([Request.insert(name, 1)])
+    with pytest.raises(ValueError, match="v0 trace format"):
+        save_trace(trace, tmp_path / "bad.txt", version=0)
+
+
+def test_v0_legacy_file_still_loads(tmp_path):
+    """A file written by the original (pre-versioning) writer parses as v0."""
+    path = tmp_path / "legacy.txt"
+    path.write_text("# trace legacy-label\nI obj-1 5\nI obj-2 3\nD obj-1\n", encoding="utf-8")
+    loaded = load_trace(path)
+    assert loaded.label == "legacy-label"
+    assert [(r.op, r.name) for r in loaded] == [
+        ("insert", "obj-1"),
+        ("insert", "obj-2"),
+        ("delete", "obj-1"),
+    ]
+    assert loaded.metadata == {}
+
+
+def test_v1_empty_name_rejected(tmp_path):
+    trace = Trace([Request.insert("", 2)])
+    with pytest.raises(ValueError, match="empty name"):
+        save_trace(trace, tmp_path / "bad.txt")
+
+
+def test_unknown_version_header_rejected(tmp_path):
+    path = tmp_path / "future.txt"
+    path.write_text("# repro-trace v9\nI a 1\n", encoding="utf-8")
+    with pytest.raises(ValueError, match="unsupported trace format"):
+        load_trace(path)
+    with pytest.raises(ValueError, match="version"):
+        save_trace(Trace([]), tmp_path / "x.txt", version=9)
+
+
+def test_malformed_v1_metadata_rejected(tmp_path):
+    path = tmp_path / "badmeta.txt"
+    path.write_text("# repro-trace v1\n# meta {not json\n", encoding="utf-8")
+    with pytest.raises(ValueError, match="metadata"):
+        load_trace(path)
+
+
+def test_non_dict_v1_metadata_rejected(tmp_path):
+    path = tmp_path / "intmeta.txt"
+    path.write_text("# repro-trace v1\n# meta 5\nI a 3\n", encoding="utf-8")
+    with pytest.raises(ValueError, match="JSON object"):
+        load_trace(path)
+
+
+def test_default_format_is_v1(tmp_path):
+    path = tmp_path / "default.txt"
+    save_trace(Trace([Request.insert("a b", 2)]), path)
+    assert TRACE_FORMAT_VERSION == 1
+    assert path.read_text(encoding="utf-8").startswith("# repro-trace v1\n")
