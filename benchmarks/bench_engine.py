@@ -1,0 +1,93 @@
+"""Micro-benchmarks for the simulation engine's instrumentation overhead.
+
+Guards the zero-observer fast path against regression: replaying a trace
+with no observers must skip all ``RequestRecord``/``MoveEvent`` construction
+and therefore beat the fully-observed replay.  Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine.py --benchmark-only
+
+The ``observed`` variants attach a history observer (every record retained),
+a bounded footprint-series observer, and a RAM device model — the heaviest
+realistic instrumentation load.
+"""
+
+import pytest
+
+from repro.allocators import FirstFitAllocator
+from repro.core import CostObliviousReallocator
+from repro.engine import (
+    DeviceObserver,
+    FootprintSeriesObserver,
+    HistoryObserver,
+    SimulationEngine,
+)
+from repro.storage.devices import MainMemoryDevice
+from repro.workloads import UniformSizes, churn_trace
+
+TRACE = churn_trace(4000, UniformSizes(1, 64), target_live=150, seed=101)
+
+ALLOCATORS = [
+    ("first-fit", lambda: FirstFitAllocator(audit=False)),
+    ("cost-oblivious", lambda: CostObliviousReallocator(epsilon=0.25, audit=False)),
+]
+
+
+def _full_observers():
+    return [
+        HistoryObserver(),
+        FootprintSeriesObserver(max_points=256),
+        DeviceObserver(MainMemoryDevice()),
+    ]
+
+
+@pytest.mark.parametrize("name,factory", ALLOCATORS, ids=[n for n, _ in ALLOCATORS])
+@pytest.mark.parametrize("mode", ["zero-observers", "fully-observed"])
+def test_engine_replay_overhead(benchmark, name, factory, mode):
+    def run_once():
+        allocator = factory()
+        observers = _full_observers() if mode == "fully-observed" else []
+        SimulationEngine(allocator, observers).run(TRACE)
+        return allocator
+
+    allocator = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert allocator.stats.requests == len(TRACE)
+
+
+@pytest.mark.parametrize("name,factory", ALLOCATORS, ids=[n for n, _ in ALLOCATORS])
+def test_zero_observer_run_is_not_slower_than_fully_observed(name, factory):
+    """The enforced guard: if the zero-observer replay ever stops being at
+    least as fast as the fully-observed one, the fast path has regressed.
+    In practice the gap is ~2x; the rounds are interleaved (so a load spike
+    on a shared CI runner hits both variants) and best-of-5 is compared
+    with generous slack, which keeps the assertion far from timer noise."""
+    import time
+
+    def timed(observer_factory):
+        allocator = factory()
+        engine = SimulationEngine(allocator, observer_factory())
+        started = time.perf_counter()
+        engine.run(TRACE)
+        return time.perf_counter() - started
+
+    bare = float("inf")
+    observed = float("inf")
+    for _ in range(5):
+        bare = min(bare, timed(list))
+        observed = min(observed, timed(_full_observers))
+    assert bare <= observed * 1.25, (
+        f"zero-observer replay ({bare:.4f}s) is not faster than the "
+        f"fully-observed replay ({observed:.4f}s) for {name}"
+    )
+
+
+@pytest.mark.parametrize("name,factory", ALLOCATORS, ids=[n for n, _ in ALLOCATORS])
+def test_zero_observer_stats_match_fully_observed(name, factory):
+    """Correctness guard: both paths must produce identical aggregates."""
+    bare = factory()
+    SimulationEngine(bare, []).run(TRACE)
+    observed = factory()
+    SimulationEngine(observed, _full_observers()).run(TRACE)
+    assert bare.stats.max_footprint_ratio == observed.stats.max_footprint_ratio
+    assert bare.stats.total_moved_volume == observed.stats.total_moved_volume
+    assert bare.stats.allocated_sizes == observed.stats.allocated_sizes
+    assert bare.stats.moved_sizes == observed.stats.moved_sizes

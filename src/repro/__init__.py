@@ -43,6 +43,12 @@ from repro.costs import (
     MainMemoryCost,
     STANDARD_COST_SUITE,
 )
+from repro.engine import (
+    FootprintSeriesObserver,
+    HistoryObserver,
+    Observer,
+    SimulationEngine,
+)
 from repro.metrics import run_trace
 from repro.workloads import Request, Trace
 
@@ -68,6 +74,10 @@ __all__ = [
     "SolidStateCost",
     "MainMemoryCost",
     "STANDARD_COST_SUITE",
+    "FootprintSeriesObserver",
+    "HistoryObserver",
+    "Observer",
+    "SimulationEngine",
     "run_trace",
     "Request",
     "Trace",

@@ -17,6 +17,7 @@ from repro.campaign.analyze import TraceAnalytics, analytics_result, analyze_tra
 from repro.campaign.artifacts import (
     campaign_table,
     campaign_to_dict,
+    completed_records,
     load_results,
     write_results,
 )
@@ -32,6 +33,7 @@ from repro.campaign.spec import (
     build_allocator,
     build_cost,
     build_device,
+    build_observer,
     build_workload,
 )
 
@@ -51,8 +53,10 @@ __all__ = [
     "build_cost",
     "build_device",
     "build_workload",
+    "build_observer",
     "campaign_table",
     "campaign_to_dict",
+    "completed_records",
     "load_results",
     "run_campaign",
     "run_cell",

@@ -37,11 +37,13 @@ CSV_COLUMNS = (
     "final_volume",
     "max_footprint",
     "max_footprint_ratio",
+    "mean_footprint_ratio",
     "cost_ratio",
     "total_moves",
     "total_moved_volume",
     "moves_per_insert",
     "max_request_moved_volume",
+    "footprint_series",
     "device_elapsed_ms",
     "elapsed_seconds",
     "error",
@@ -60,6 +62,7 @@ def campaign_to_dict(result: CampaignResult) -> Dict[str, Any]:
         "cells": len(result.records),
         "ok": len(result.ok_records),
         "errors": len(result.error_records),
+        "resumed": result.metadata.get("resumed", 0),
         "spec": result.spec.to_dict(),
         "records": result.records,
     }
@@ -96,6 +99,12 @@ def _csv_row(record: Dict[str, Any]) -> List[Any]:
         if column == "error":
             error = record.get("error", "")
             row.append(error.strip().splitlines()[-1] if error else "")
+        elif column == "footprint_series":
+            series = record.get("footprint_series")
+            if isinstance(series, dict):
+                row.append(" ".join(str(v) for v in series.get("footprint", ())))
+            else:
+                row.append("")
         else:
             row.append(record.get(column, ""))
     return row
@@ -108,6 +117,16 @@ def load_results(path: Union[str, os.PathLike]) -> Dict[str, Any]:
     if document.get("format") != "repro-campaign-results":
         raise ValueError(f"{path} is not a repro campaign results file")
     return document
+
+
+def completed_records(document: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Map ``cell_id`` -> record for every *successful* cell of a results
+    document (the input for ``run_campaign(..., completed=...)``)."""
+    return {
+        record["cell_id"]: record
+        for record in document.get("records", [])
+        if record.get("status") == "ok"
+    }
 
 
 def campaign_table(result: CampaignResult) -> ExperimentResult:

@@ -2,10 +2,17 @@
 
 Each :class:`~repro.campaign.spec.CampaignCell` is an independent unit of
 work: build the trace from the cell seed, replay it on a freshly built
-allocator, drive the cell's device model with every write and move, then
-charge the execution under the cell's cost function.  Cells are therefore
-embarrassingly parallel, and :func:`run_campaign` fans them out over a
-``multiprocessing`` pool when ``jobs > 1``.
+allocator through the :class:`~repro.engine.SimulationEngine` (the device
+model rides along as a :class:`~repro.engine.DeviceObserver`, any observers
+requested by the spec are attached per cell), then charge the execution
+under the cell's cost function.  Cells are therefore embarrassingly
+parallel, and :func:`run_campaign` fans them out over a ``multiprocessing``
+pool when ``jobs > 1``.
+
+Resumption: ``run_campaign(..., completed=...)`` accepts records from an
+earlier run keyed by ``cell_id``; cells with a previous ``"ok"`` record are
+not re-executed — the old record is carried over (re-indexed, stamped
+``"resumed": true``) and only the missing or failed cells run.
 
 Fault isolation: the worker traps *any* exception (unknown spec kinds, bad
 parameters, allocator bugs mid-trace) and returns an error record carrying
@@ -31,11 +38,19 @@ from repro.campaign.spec import (
     build_allocator,
     build_cost,
     build_device,
+    build_observer,
     build_workload,
 )
+from repro.engine import DeviceObserver, Observer
+from repro.metrics.collector import run_trace
 
 #: Called after each cell finishes: ``progress(done, total, record)``.
 ProgressCallback = Callable[[int, int, Dict[str, Any]], None]
+
+#: Bumped whenever the fields or semantics of a cell record change, so a
+#: resume never mixes records produced under older measurement semantics
+#: into a new artifact.
+RECORD_VERSION = 2
 
 
 @dataclass
@@ -68,6 +83,8 @@ def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         "cost": payload["cost"],
         "device": payload["device"],
         "seed": payload["seed"],
+        "observers": payload.get("observers", []),
+        "record_version": RECORD_VERSION,
     }
     try:
         record.update(_execute(payload))
@@ -84,22 +101,13 @@ def _execute(payload: Dict[str, Any]) -> Dict[str, Any]:
     allocator = build_allocator(payload["allocator"])
     cost = build_cost(payload["cost"])
     device = build_device(payload["device"])
+    spec_observers = [build_observer(entry) for entry in payload.get("observers", [])]
 
-    for request in trace:
-        if request.is_insert:
-            record = allocator.insert(request.name, request.size)
-            if device is not None:
-                device.write(request.size)
-        else:
-            record = allocator.delete(request.name)
-        if device is not None:
-            for move in record.moves:
-                if move.is_reallocation:
-                    device.move(move.size)
-    if hasattr(allocator, "finish_pending_work"):
-        allocator.finish_pending_work()
+    observers: List[Observer] = list(spec_observers)
+    if device is not None:
+        observers.append(DeviceObserver(device))
+    metrics = run_trace(allocator, trace, cost_functions=(cost,), observers=observers)
 
-    stats = allocator.stats
     result: Dict[str, Any] = {
         "trace_label": trace.label,
         "requests": len(trace),
@@ -107,20 +115,26 @@ def _execute(payload: Dict[str, Any]) -> Dict[str, Any]:
         "deletes": trace.num_deletes,
         "delta": trace.delta,
         "inserted_volume": trace.total_inserted_volume,
-        "final_volume": allocator.volume,
-        "final_footprint": allocator.footprint,
-        "max_footprint": stats.max_footprint,
-        "max_footprint_ratio": round(stats.max_footprint_ratio, 6),
-        "cost_ratio": round(stats.cost_ratio(cost), 6),
-        "total_moves": stats.total_moves,
-        "total_moved_volume": stats.total_moved_volume,
-        "moves_per_insert": round(stats.amortized_moves_per_insert, 6),
-        "max_request_moved_volume": stats.max_request_moved_volume,
+        "final_volume": metrics.final_volume,
+        "final_footprint": metrics.final_footprint,
+        "max_footprint": metrics.max_footprint,
+        "max_footprint_ratio": round(metrics.max_footprint_ratio, 6),
+        "mean_footprint_ratio": round(metrics.mean_footprint_ratio, 6),
+        "cost_ratio": round(metrics.cost_ratios[cost.name], 6),
+        "total_moves": metrics.total_moves,
+        "total_moved_volume": metrics.total_moved_volume,
+        "moves_per_insert": round(metrics.moves_per_insert, 6),
+        "max_request_moved_volume": metrics.max_request_moved_volume,
     }
     if device is not None:
         result["device_elapsed_ms"] = round(device.stats.elapsed_ms, 3)
         result["device_units_written"] = device.stats.units_written
         result["device_moves"] = device.stats.moves
+    for observer in spec_observers:
+        key = getattr(observer, "export_key", None)
+        export = getattr(observer, "export", None)
+        if key and callable(export):
+            result[key] = export()
     return result
 
 
@@ -128,32 +142,63 @@ def run_campaign(
     spec: CampaignSpec,
     jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
+    completed: Optional[Dict[str, Dict[str, Any]]] = None,
 ) -> CampaignResult:
     """Run every cell of ``spec``, serially or over ``jobs`` processes.
 
     ``jobs <= 0`` means one worker per available CPU.  The returned records
     are ordered by cell index regardless of completion order.
+
+    ``completed`` maps ``cell_id`` to a record from an earlier run of the
+    same spec (see :func:`repro.campaign.artifacts.completed_records`).  A
+    cell is skipped only when its previous record is ``"ok"`` *and*
+    provably interchangeable — same derived seed, same observer
+    configuration, same :data:`RECORD_VERSION` — in which case the old
+    record is reused (re-indexed, stamped ``"resumed": true``) and only the
+    remaining cells execute; this is what ``repro sweep --resume`` uses to
+    finish a half-completed sweep.  Anything stale (different campaign
+    seed, changed observer parameters, records from an older release)
+    simply re-runs.
     """
     cells = spec.expand()
-    payloads = [cell.payload() for cell in cells]
+    payloads: List[Dict[str, Any]] = []
+    reused: List[Dict[str, Any]] = []
+    for cell in cells:
+        previous = completed.get(cell.cell_id) if completed else None
+        if (
+            previous is not None
+            and previous.get("status") == "ok"
+            and previous.get("seed") == cell.seed
+            and previous.get("observers", []) == list(cell.observers)
+            and previous.get("record_version") == RECORD_VERSION
+        ):
+            record = dict(previous)
+            record["index"] = cell.index
+            record["resumed"] = True
+            reused.append(record)
+        else:
+            payloads.append(cell.payload())
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     jobs = min(jobs, max(1, len(payloads)))
 
     started = time.perf_counter()
-    records: List[Dict[str, Any]] = []
+    records: List[Dict[str, Any]] = list(reused)
+    done = 0
     if jobs == 1:
         for payload in payloads:
             record = run_cell(payload)
             records.append(record)
+            done += 1
             if progress is not None:
-                progress(len(records), len(payloads), record)
+                progress(done, len(payloads), record)
     else:
         with multiprocessing.Pool(processes=jobs) as pool:
             for record in pool.imap_unordered(run_cell, payloads):
                 records.append(record)
+                done += 1
                 if progress is not None:
-                    progress(len(records), len(payloads), record)
+                    progress(done, len(payloads), record)
     records.sort(key=lambda r: r["index"])
     elapsed = time.perf_counter() - started
 
@@ -166,6 +211,7 @@ def run_campaign(
             "cells": len(records),
             "ok": sum(1 for r in records if r["status"] == "ok"),
             "errors": sum(1 for r in records if r["status"] == "error"),
+            "resumed": len(reused),
         },
     )
 

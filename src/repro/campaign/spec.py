@@ -23,7 +23,12 @@ therefore JSON-serialisable)::
 
 String entries are shorthand for ``{"kind": <string>}``.  ``costs`` defaults
 to ``["linear"]`` and ``devices`` to ``["ram"]`` so a minimal spec only names
-workloads and allocators.  :meth:`CampaignSpec.expand` turns the spec into
+workloads and allocators.  An optional top-level ``"observers"`` list (e.g.
+``["footprint_series"]`` or ``[{"kind": "footprint_series", "max_points":
+256}]``) attaches engine observers to every cell; their exported results
+(for ``footprint_series``: a bounded, downsampled footprint/volume series)
+are added to each cell record in ``results.json``.  Observers instrument a
+cell without changing its identity, so they are not part of ``cell_id``.  :meth:`CampaignSpec.expand` turns the spec into
 one :class:`CampaignCell` per point of the cross product; each cell carries a
 deterministic seed derived from the campaign seed and the workload axis (so
 every allocator sees the *same* trace for a given workload, which is what
@@ -42,7 +47,7 @@ import json
 import os
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.allocators import (
     AppendOnlyAllocator,
@@ -61,6 +66,8 @@ from repro.core import (
     DeamortizedReallocator,
 )
 from repro.core.base import Allocator
+from repro.engine import Observer
+from repro.engine import build_observer as _build_engine_observer
 from repro.costs import (
     AffineCost,
     CappedLinearCost,
@@ -141,6 +148,7 @@ class CampaignCell:
     cost: Dict[str, Any]
     device: Dict[str, Any]
     seed: int
+    observers: Tuple[Dict[str, Any], ...] = ()
 
     def payload(self) -> Dict[str, Any]:
         """A picklable dict handed to the executor worker."""
@@ -152,6 +160,7 @@ class CampaignCell:
             "cost": self.cost,
             "device": self.device,
             "seed": self.seed,
+            "observers": list(self.observers),
         }
 
 
@@ -165,12 +174,13 @@ class CampaignSpec:
     allocators: List[Dict[str, Any]] = field(default_factory=list)
     costs: List[Dict[str, Any]] = field(default_factory=lambda: [{"kind": "linear"}])
     devices: List[Dict[str, Any]] = field(default_factory=lambda: [{"kind": "ram"}])
+    observers: List[Dict[str, Any]] = field(default_factory=list)
 
     @staticmethod
     def from_dict(raw: Dict[str, Any]) -> "CampaignSpec":
         if not isinstance(raw, dict):
             raise SpecError(f"campaign spec must be a dict, got {type(raw).__name__}")
-        known = {"name", "seed", "workloads", "allocators", "costs", "devices"}
+        known = {"name", "seed", "workloads", "allocators", "costs", "devices", "observers"}
         unknown = set(raw) - known
         if unknown:
             raise SpecError(f"unknown spec keys {sorted(unknown)}; known: {sorted(known)}")
@@ -184,6 +194,8 @@ class CampaignSpec:
             spec.costs = [normalise_entry(e) for e in raw["costs"]]
         if "devices" in raw:
             spec.devices = [normalise_entry(e) for e in raw["devices"]]
+        if "observers" in raw:
+            spec.observers = [normalise_entry(e) for e in raw["observers"]]
         if not spec.workloads:
             raise SpecError("campaign spec needs at least one workload")
         if not spec.allocators:
@@ -203,11 +215,13 @@ class CampaignSpec:
             "allocators": self.allocators,
             "costs": self.costs,
             "devices": self.devices,
+            "observers": self.observers,
         }
 
     def expand(self) -> List[CampaignCell]:
         """The full cross product, one :class:`CampaignCell` per point."""
         cells: List[CampaignCell] = []
+        observers = tuple(self.observers)
         for workload in self.workloads:
             seed = cell_seed(self.seed, workload)
             for allocator in self.allocators:
@@ -230,6 +244,7 @@ class CampaignSpec:
                                 cost=cost,
                                 device=device,
                                 seed=seed,
+                                observers=observers,
                             )
                         )
         return cells
@@ -244,6 +259,8 @@ class CampaignSpec:
             build_cost(cost)
         for device in self.devices:
             build_device(device)
+        for observer in self.observers:
+            build_observer(observer)
 
 
 def cell_seed(base_seed: int, workload: Dict[str, Any]) -> int:
@@ -411,6 +428,16 @@ def build_cost(entry: AxisEntry) -> CostFunction:
         return COST_KINDS[kind](**params)
     except (TypeError, ValueError) as error:
         raise SpecError(f"bad parameters for cost {kind!r}: {error}") from error
+
+
+def build_observer(entry: AxisEntry) -> Observer:
+    """Build an engine observer from its spec entry (see ``OBSERVER_KINDS``
+    in :mod:`repro.engine.observers` for the registered kinds)."""
+    params = normalise_entry(entry)
+    try:
+        return _build_engine_observer(params)
+    except ValueError as error:
+        raise SpecError(str(error)) from error
 
 
 DEVICE_KINDS = {

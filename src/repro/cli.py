@@ -68,6 +68,15 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the per-cell progress lines on stderr",
     )
+    sweep_parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help=(
+            "skip cells already recorded ok in DIR/results.json and only run "
+            "the missing or failed ones (artifacts default to DIR)"
+        ),
+    )
 
     trace_parser = subparsers.add_parser("trace", help="trace file utilities")
     trace_sub = trace_parser.add_subparsers(dest="trace_command")
@@ -93,11 +102,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import os
+
     from repro.campaign import (
         CampaignSpec,
         ProgressReporter,
         SpecError,
         campaign_table,
+        completed_records,
+        load_results,
         run_campaign,
         write_results,
     )
@@ -107,11 +120,44 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as error:
         print(f"repro sweep: cannot load spec {args.spec!r}: {error}", file=sys.stderr)
         return 2
+    completed = None
+    if args.resume is not None:
+        results_path = os.path.join(args.resume, "results.json")
+        try:
+            document = load_results(results_path)
+        except (OSError, ValueError) as error:
+            print(f"repro sweep: cannot resume from {args.resume!r}: {error}", file=sys.stderr)
+            return 2
+        # Cell ids do not encode the campaign seed, so records produced
+        # under a different seed would be silently reused as matches.
+        if int(document.get("seed", 0)) != spec.seed:
+            print(
+                f"repro sweep: cannot resume from {args.resume!r}: campaign seed "
+                f"differs (recorded {document.get('seed')}, spec {spec.seed})",
+                file=sys.stderr,
+            )
+            return 2
+        # Observer config is not part of cell ids either; records produced
+        # under different instrumentation would carry stale exports (e.g. a
+        # series sampled with another max_points), so re-run everything.
+        recorded_observers = document.get("spec", {}).get("observers", [])
+        if recorded_observers != spec.observers:
+            print(
+                "repro sweep: observer configuration changed since the recorded "
+                "run; re-running all cells",
+                file=sys.stderr,
+            )
+        else:
+            completed = completed_records(document)
     reporter = None if args.quiet else ProgressReporter()
-    result = run_campaign(spec, jobs=args.jobs, progress=reporter)
+    result = run_campaign(spec, jobs=args.jobs, progress=reporter, completed=completed)
     if reporter is not None:
         reporter.summary(len(result.records), result.elapsed_seconds)
-    out_dir = args.out if args.out is not None else f"campaign-{spec.name}"
+    if result.metadata.get("resumed"):
+        print(f"resumed: {result.metadata['resumed']} cell(s) reused from {args.resume}")
+    out_dir = args.out
+    if out_dir is None:
+        out_dir = args.resume if args.resume is not None else f"campaign-{spec.name}"
     paths = write_results(result, out_dir)
     print(campaign_table(result).to_text())
     print()

@@ -42,6 +42,18 @@ class Allocator(ABC):
     audit:
         When True (default) every placement is checked for overlaps against
         all live objects.  Benchmarks switch this off for very large traces.
+    observers:
+        Observers (see :mod:`repro.engine.observers`) notified of every
+        request record, move, flush, and checkpoint.  Usually attached per
+        replay by the :class:`~repro.engine.SimulationEngine` rather than at
+        construction time.
+
+    Instrumentation fast path: :meth:`run` checks once whether anything can
+    see per-request events (``trace`` or attached observers).  When nothing
+    can, serving a request skips building ``RequestRecord``/``MoveEvent``
+    objects entirely — only the aggregate :attr:`stats` are maintained —
+    which is what makes zero-observer replays cheap.  Direct
+    :meth:`insert`/:meth:`delete` calls always return a full record.
     """
 
     #: Human-readable identifier used in benchmark tables.
@@ -49,14 +61,17 @@ class Allocator(ABC):
     #: Whether the algorithm ever moves previously allocated objects.
     supports_reallocation: bool = False
 
-    def __init__(self, trace: bool = False, audit: bool = True) -> None:
+    def __init__(self, trace: bool = False, audit: bool = True, observers=None) -> None:
         self.space = AddressSpace(validate=audit)
         self.stats = AllocatorStats()
         self.trace = trace
         self.history: List[RequestRecord] = []
         self._sizes: Dict[Hashable, int] = {}
         self._delta = 0
+        self._observers: List = list(observers) if observers else []
+        self._collect_events = True
         self._current_moves: List[MoveEvent] = []
+        self._current_moved_volume = 0
         self._current_flush: Optional[FlushRecord] = None
         self._current_checkpoints = 0
 
@@ -92,39 +107,93 @@ class Allocator(ABC):
         """Current starting address of the active object ``name``."""
         return self.space.extent_of(name).start
 
+    # ----------------------------------------------------------- observers
+    def attach_observer(self, observer) -> None:
+        """Notify ``observer`` of every subsequent record/move/flush/checkpoint."""
+        self._observers.append(observer)
+
+    def detach_observer(self, observer) -> None:
+        """Stop notifying ``observer`` (a no-op if it is not attached)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
     # ------------------------------------------------------------ requests
     def insert(self, name: Hashable, size: int) -> RequestRecord:
         """Serve an insert (malloc) request and return its record."""
+        return self._serve_insert(name, size, collect=True)
+
+    def delete(self, name: Hashable) -> RequestRecord:
+        """Serve a delete (free) request and return its record."""
+        return self._serve_delete(name, collect=True)
+
+    def run(self, requests) -> None:
+        """Serve a whole trace of :class:`repro.workloads.base.Request` objects.
+
+        When nothing observes per-request events (``trace`` is False and no
+        observer is attached) the replay skips record construction entirely;
+        only :attr:`stats` are maintained.
+        """
+        collect = bool(self.trace or self._observers)
+        for request in requests:
+            if request.is_insert:
+                self._serve_insert(request.name, request.size, collect)
+            else:
+                self._serve_delete(request.name, collect)
+
+    def _serve_insert(self, name: Hashable, size: int, collect: bool) -> Optional[RequestRecord]:
         if size < 1:
             raise AllocationError(f"object size must be >= 1, got {size}")
         if name in self._sizes:
             raise AllocationError(f"object {name!r} is already allocated")
+        self._collect_events = collect
         self._begin_request()
+        # The size must be registered before _do_insert runs: a flush
+        # triggered by the placement may relocate the new object, and
+        # _size_lookup must resolve it.  The registration (and any placement
+        # of the new object) is rolled back if _do_insert raises, so the
+        # failed insert can be retried instead of dying with "already
+        # allocated".  Side effects on *other* objects (moves performed by a
+        # partially completed flush) are real work and stay recorded.
         self._sizes[name] = size
-        self._delta = max(self._delta, size)
+        previous_delta = self._delta
+        if size > self._delta:
+            self._delta = size
+        try:
+            self._do_insert(name, size)
+        except BaseException:
+            self._sizes.pop(name, None)
+            if name in self.space:
+                self.space.remove(name)
+            self._delta = previous_delta
+            self.stats.requests -= 1
+            raise
         self.stats.record_allocation(size)
         self.stats.inserts += 1
-        self._do_insert(name, size)
         return self._finish_request("insert", name, size)
 
-    def delete(self, name: Hashable) -> RequestRecord:
-        """Serve a delete (free) request and return its record."""
+    def _serve_delete(self, name: Hashable, collect: bool) -> Optional[RequestRecord]:
         if name not in self._sizes:
             raise AllocationError(f"object {name!r} is not allocated")
         size = self._sizes[name]
+        self._collect_events = collect
         self._begin_request()
-        self._do_delete(name, size)
+        try:
+            self._do_delete(name, size)
+        except BaseException:
+            # Unlike a failed insert (whose sole placement can always be
+            # undone, see _serve_insert), a delete that raises midway may
+            # have freed space that later moves already reused, and the
+            # deamortized variant defers frees — so no faithful rollback
+            # exists.  The registration is kept (the object still counts as
+            # allocated) but its physical state is undefined; callers should
+            # treat the allocator as poisoned after a raising delete.
+            self.stats.requests -= 1
+            raise
         del self._sizes[name]
         self.stats.deletes += 1
         return self._finish_request("delete", name, size)
-
-    def run(self, requests) -> None:
-        """Serve a whole trace of :class:`repro.workloads.base.Request` objects."""
-        for request in requests:
-            if request.is_insert:
-                self.insert(request.name, request.size)
-            else:
-                self.delete(request.name)
 
     # -------------------------------------------------- subclass obligations
     @abstractmethod
@@ -137,26 +206,29 @@ class Allocator(ABC):
 
     # ------------------------------------------------------ helper plumbing
     def _begin_request(self) -> None:
-        self._current_moves = []
+        if self._collect_events:
+            self._current_moves = []
+        self._current_moved_volume = 0
         self._current_flush = None
         self._current_checkpoints = 0
         self.stats.requests += 1
 
-    def _finish_request(self, op: str, name: Hashable, size: int) -> RequestRecord:
-        footprint = self.footprint
-        volume = self.volume
-        self.stats.record_footprint(footprint, volume)
-        moved_volume = sum(m.size for m in self._current_moves if m.is_reallocation)
-        self.stats.max_request_moved_volume = max(
-            self.stats.max_request_moved_volume, moved_volume
-        )
-        self.stats.max_request_checkpoints = max(
-            self.stats.max_request_checkpoints, self._current_checkpoints
-        )
-        if self.stats.request_moved_volumes is not None:
-            self.stats.request_moved_volumes.append(moved_volume)
+    def _finish_request(self, op: str, name: Hashable, size: int) -> Optional[RequestRecord]:
+        footprint = self.space.footprint()
+        volume = self.space.volume()
+        stats = self.stats
+        stats.record_footprint(footprint, volume)
+        moved_volume = self._current_moved_volume
+        if moved_volume > stats.max_request_moved_volume:
+            stats.max_request_moved_volume = moved_volume
+        if self._current_checkpoints > stats.max_request_checkpoints:
+            stats.max_request_checkpoints = self._current_checkpoints
+        if stats.request_moved_volumes is not None:
+            stats.request_moved_volumes.append(moved_volume)
+        if not self._collect_events:
+            return None
         record = RequestRecord(
-            index=self.stats.requests,
+            index=stats.requests,
             op=op,
             name=name,
             size=size,
@@ -168,15 +240,19 @@ class Allocator(ABC):
         )
         if self.trace:
             self.history.append(record)
+        for observer in self._observers:
+            observer.on_request(record)
         return record
 
     def _place_object(self, name: Hashable, size: int, address: int, reason: str = "place") -> None:
         """Record the first placement of ``name`` at ``address``."""
         extent = Extent(address, size)
         self.space.place(name, extent)
-        self._current_moves.append(
-            MoveEvent(name=name, size=size, source=None, destination=extent, reason=reason)
-        )
+        if self._collect_events:
+            move = MoveEvent(name=name, size=size, source=None, destination=extent, reason=reason)
+            self._current_moves.append(move)
+            for observer in self._observers:
+                observer.on_move(move)
 
     def _size_lookup(self, name: Hashable) -> int:
         """Size of an object that still occupies space (overridable)."""
@@ -185,17 +261,20 @@ class Allocator(ABC):
     def _move_object(self, name: Hashable, new_address: int, reason: str = "move") -> None:
         """Record a relocation of ``name`` to ``new_address``."""
         size = self._size_lookup(name)
-        new_extent = Extent(new_address, size)
         old_extent = self.space.extent_of(name)
         if old_extent.start == new_address:
             return
+        new_extent = Extent(new_address, size)
         self.space.move(name, new_extent)
         self.stats.record_move(size)
-        self._current_moves.append(
-            MoveEvent(
+        self._current_moved_volume += size
+        if self._collect_events:
+            move = MoveEvent(
                 name=name, size=size, source=old_extent, destination=new_extent, reason=reason
             )
-        )
+            self._current_moves.append(move)
+            for observer in self._observers:
+                observer.on_move(move)
 
     def _free_object(self, name: Hashable) -> Extent:
         """Remove ``name`` from the address space and return its old extent."""
@@ -204,10 +283,14 @@ class Allocator(ABC):
     def _note_flush(self, record: FlushRecord) -> None:
         self.stats.flushes += 1
         self._current_flush = record
+        for observer in self._observers:
+            observer.on_flush(record)
 
     def _note_checkpoint(self, count: int = 1) -> None:
         self.stats.checkpoints += count
         self._current_checkpoints += count
+        for observer in self._observers:
+            observer.on_checkpoint(count)
 
     def _note_transient_footprint(self, footprint: int) -> None:
         self.stats.record_transient_footprint(footprint)

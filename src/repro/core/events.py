@@ -8,7 +8,7 @@ from typing import Hashable, Optional, Sequence, Tuple
 from repro.storage.extent import Extent
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MoveEvent:
     """One physical relocation of an object.
 
@@ -31,7 +31,7 @@ class MoveEvent:
         return self.source is not None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlushRecord:
     """Summary of one buffer-flush operation."""
 
@@ -42,7 +42,7 @@ class FlushRecord:
     checkpoints: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestRecord:
     """Everything that happened while serving one insert/delete request."""
 

@@ -40,6 +40,11 @@ class AllocatorStats:
     max_footprint: int = 0
     #: Largest footprint/volume ratio observed after any request with V > 0.
     max_footprint_ratio: float = 0.0
+    #: Sum of footprint/volume ratios over the requests counted in
+    #: :attr:`footprint_ratio_samples` (for the mean ratio).
+    footprint_ratio_sum: float = 0.0
+    #: Number of requests that ended with V > 0.
+    footprint_ratio_samples: int = 0
     #: Largest footprint observed at any instant, including mid-flush.
     max_transient_footprint: int = 0
     #: Largest volume moved while serving a single request.
@@ -60,12 +65,16 @@ class AllocatorStats:
         self.total_moves += 1
 
     def record_footprint(self, footprint: int, volume: int) -> None:
-        self.max_footprint = max(self.max_footprint, footprint)
-        self.max_transient_footprint = max(self.max_transient_footprint, footprint)
+        if footprint > self.max_footprint:
+            self.max_footprint = footprint
+        if footprint > self.max_transient_footprint:
+            self.max_transient_footprint = footprint
         if volume > 0:
-            self.max_footprint_ratio = max(
-                self.max_footprint_ratio, footprint / volume
-            )
+            ratio = footprint / volume
+            if ratio > self.max_footprint_ratio:
+                self.max_footprint_ratio = ratio
+            self.footprint_ratio_sum += ratio
+            self.footprint_ratio_samples += 1
 
     def record_transient_footprint(self, footprint: int) -> None:
         self.max_transient_footprint = max(self.max_transient_footprint, footprint)
@@ -98,6 +107,13 @@ class AllocatorStats:
     def cost_report(self, cost_functions) -> Dict[str, float]:
         """Cost ratio per cost-function name (for tables)."""
         return {f.name: self.cost_ratio(f) for f in cost_functions}
+
+    @property
+    def mean_footprint_ratio(self) -> float:
+        """Average footprint/volume ratio over the requests with V > 0."""
+        if self.footprint_ratio_samples == 0:
+            return 0.0
+        return self.footprint_ratio_sum / self.footprint_ratio_samples
 
     @property
     def amortized_moves_per_insert(self) -> float:

@@ -1,0 +1,37 @@
+"""Observer-based simulation engine.
+
+The one instrumentation seam shared by the metrics collector, the experiment
+harness, and the campaign executor: replay a trace through an allocator with
+pluggable :class:`Observer` instances.  See ``README.md`` ("Architecture")
+for a worked example of writing a custom observer.
+"""
+
+from repro.engine.engine import EngineRun, SimulationEngine, replay
+from repro.engine.observers import (
+    EVENT_HOOKS,
+    OBSERVER_KINDS,
+    CostObserver,
+    DeviceObserver,
+    FootprintSeriesObserver,
+    HistoryObserver,
+    MetricsObserver,
+    Observer,
+    build_observer,
+    needs_events,
+)
+
+__all__ = [
+    "EVENT_HOOKS",
+    "OBSERVER_KINDS",
+    "CostObserver",
+    "DeviceObserver",
+    "EngineRun",
+    "FootprintSeriesObserver",
+    "HistoryObserver",
+    "MetricsObserver",
+    "Observer",
+    "SimulationEngine",
+    "build_observer",
+    "needs_events",
+    "replay",
+]

@@ -1,0 +1,110 @@
+"""The simulation engine: one instrumentation seam for every replay.
+
+Everything the paper measures reduces to "replay a trace through an
+allocator and observe what happens".  :class:`SimulationEngine` owns that
+loop: it wires a (possibly empty) list of :class:`~repro.engine.observers.Observer`
+instances onto an allocator, serves the trace, drives any pending
+deamortized work to completion, and hands every observer the finished
+allocator.
+
+Only *active* observers (those overriding a per-event hook — see
+:func:`~repro.engine.observers.needs_events`) are attached to the allocator;
+with none attached the replay takes the allocator's zero-instrumentation
+fast path, which skips all ``RequestRecord``/``MoveEvent`` construction.
+Passive observers (metrics snapshots, cost charging) therefore cost nothing
+per request.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.core.base import Allocator
+from repro.engine.observers import Observer, needs_events
+from repro.workloads.base import Trace
+
+
+@dataclass
+class EngineRun:
+    """The outcome of one :meth:`SimulationEngine.run`."""
+
+    allocator: Allocator
+    trace: Trace
+    requests: int
+    elapsed_seconds: float
+    observers: List[Observer] = field(default_factory=list)
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("inf")
+        return self.requests / self.elapsed_seconds
+
+
+class SimulationEngine:
+    """Replay traces on an allocator with pluggable observers.
+
+    Parameters
+    ----------
+    allocator:
+        The allocator under test.
+    observers:
+        Observers to wire into the replay.  Active observers see events as
+        they happen; passive observers only see ``on_attach``/``on_finish``.
+    finish_pending:
+        Drive any deamortized flush to completion at the end so final
+        volumes and invariants are comparable across allocators.
+    """
+
+    def __init__(
+        self,
+        allocator: Allocator,
+        observers: Sequence[Observer] = (),
+        finish_pending: bool = True,
+    ) -> None:
+        self.allocator = allocator
+        self.observers: List[Observer] = list(observers)
+        self.finish_pending = finish_pending
+
+    def run(self, trace: Trace) -> EngineRun:
+        """Serve ``trace`` and return the run outcome.
+
+        Observers are attached for the duration of the call only, so the
+        same allocator can be replayed again with different instrumentation.
+        """
+        allocator = self.allocator
+        active = [obs for obs in self.observers if needs_events(obs)]
+        for observer in self.observers:
+            observer.on_attach(allocator)
+        for observer in active:
+            allocator.attach_observer(observer)
+        try:
+            started = time.perf_counter()
+            allocator.run(trace)
+            if self.finish_pending and hasattr(allocator, "finish_pending_work"):
+                allocator.finish_pending_work()
+            elapsed = time.perf_counter() - started
+        finally:
+            for observer in active:
+                allocator.detach_observer(observer)
+        for observer in self.observers:
+            observer.on_finish(allocator)
+        return EngineRun(
+            allocator=allocator,
+            trace=trace,
+            requests=len(trace),
+            elapsed_seconds=elapsed,
+            observers=self.observers,
+        )
+
+
+def replay(
+    allocator: Allocator,
+    trace: Trace,
+    observers: Sequence[Observer] = (),
+    finish_pending: bool = True,
+) -> EngineRun:
+    """One-shot convenience wrapper around :class:`SimulationEngine`."""
+    return SimulationEngine(allocator, observers, finish_pending=finish_pending).run(trace)

@@ -1,0 +1,225 @@
+"""The observer protocol: pluggable instrumentation for trace replay.
+
+Every measurement in this repository — headline metrics, cost charging,
+footprint-over-time series, device timing — is an :class:`Observer` attached
+to a replay.  Allocators emit events through their observer list while a
+request is served:
+
+* ``on_request(record)`` — after every insert/delete, with the full
+  :class:`~repro.core.events.RequestRecord`;
+* ``on_move(move)`` — at the instant of each placement or relocation;
+* ``on_flush(flush)`` — when a buffer flush completes;
+* ``on_checkpoint(count)`` — when checkpoints are spent;
+* ``on_finish(allocator)`` — once, after the whole trace (and any pending
+  deamortized work) has been served.
+
+Observers that only override ``on_attach``/``on_finish`` are *passive*: the
+engine never attaches them to the allocator, so they add zero per-request
+work and keep the zero-instrumentation fast path (no ``RequestRecord`` or
+``MoveEvent`` construction at all) intact.  Anything that overrides a
+per-event hook is *active* and switches the replay into recording mode.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.events import FlushRecord, MoveEvent, RequestRecord
+
+
+class Observer:
+    """No-op base class; subclass and override the hooks you need."""
+
+    def on_attach(self, allocator) -> None:
+        """Called once when the observer joins a replay, before any request."""
+
+    def on_request(self, record: RequestRecord) -> None:
+        """Called after every served request with its full record."""
+
+    def on_move(self, move: MoveEvent) -> None:
+        """Called for every placement and relocation as it happens."""
+
+    def on_flush(self, flush: FlushRecord) -> None:
+        """Called when a buffer flush completes."""
+
+    def on_checkpoint(self, count: int) -> None:
+        """Called when ``count`` checkpoints are spent."""
+
+    def on_finish(self, allocator) -> None:
+        """Called once after the replay (including pending work) completes."""
+
+
+#: The per-event hooks whose presence makes an observer *active* (it must
+#: see records/moves as they happen, so the allocator records events).
+EVENT_HOOKS = ("on_request", "on_move", "on_flush", "on_checkpoint")
+
+
+def needs_events(observer: Observer) -> bool:
+    """True if ``observer`` overrides any per-event hook."""
+    return any(
+        getattr(type(observer), hook, None) is not getattr(Observer, hook)
+        for hook in EVENT_HOOKS
+    )
+
+
+# --------------------------------------------------------------------- metrics
+class MetricsObserver(Observer):
+    """Headline scalar metrics, snapshotted from the allocator's stats.
+
+    Passive: all numbers are read from :class:`~repro.core.stats.AllocatorStats`
+    (which the allocator maintains even on the zero-instrumentation fast
+    path), so attaching this observer costs nothing per request.
+    """
+
+    def __init__(self) -> None:
+        self.snapshot: Dict[str, Any] = {}
+
+    def on_finish(self, allocator) -> None:
+        stats = allocator.stats
+        self.snapshot = {
+            "final_volume": allocator.volume,
+            "final_footprint": allocator.footprint,
+            "max_footprint": stats.max_footprint,
+            "max_footprint_ratio": stats.max_footprint_ratio,
+            "mean_footprint_ratio": stats.mean_footprint_ratio,
+            "total_moves": stats.total_moves,
+            "total_moved_volume": stats.total_moved_volume,
+            "moves_per_insert": stats.amortized_moves_per_insert,
+            "max_request_moved_volume": stats.max_request_moved_volume,
+            "max_request_checkpoints": stats.max_request_checkpoints,
+            "total_checkpoints": stats.checkpoints,
+            "flushes": stats.flushes,
+        }
+
+
+class CostObserver(Observer):
+    """Charge the execution under one or more cost functions after the fact.
+
+    Passive: cost ratios are derived from the size histograms in the
+    allocator's stats, which is exactly what cost obliviousness promises —
+    the replay never needs to know which cost function applies.
+    """
+
+    def __init__(self, cost_functions: Sequence = ()) -> None:
+        self.cost_functions = tuple(cost_functions)
+        self.cost_ratios: Dict[str, float] = {}
+
+    def on_finish(self, allocator) -> None:
+        stats = allocator.stats
+        self.cost_ratios = {f.name: stats.cost_ratio(f) for f in self.cost_functions}
+
+
+# ---------------------------------------------------------------------- series
+class FootprintSeriesObserver(Observer):
+    """Downsampled footprint/volume series with bounded memory.
+
+    Two sampling modes:
+
+    * ``every=N`` — record every ``N``-th request (the legacy ``sample_every``
+      behaviour of ``run_trace``; the series grows with the trace).
+    * ``max_points=M`` (the default, ``every=0``) — adaptive stride sampling:
+      start recording every request, and whenever the buffer exceeds ``M``
+      points drop every other sample and double the stride.  The series is
+      deterministic, covers the whole trace, and never holds more than ``M``
+      points — a 10M-request replay keeps the same bounded memory as a
+      10k-request one.
+    """
+
+    export_key = "footprint_series"
+
+    def __init__(self, every: int = 0, max_points: int = 512) -> None:
+        if every < 0:
+            raise ValueError(f"every must be >= 0, got {every}")
+        if max_points < 2:
+            raise ValueError(f"max_points must be >= 2, got {max_points}")
+        self.every = int(every)
+        self.max_points = int(max_points)
+        self.indices: List[int] = []
+        self.footprint: List[int] = []
+        self.volume: List[int] = []
+        self._seen = 0
+        self._stride = self.every if self.every else 1
+
+    def on_request(self, record: RequestRecord) -> None:
+        index = self._seen
+        self._seen += 1
+        if index % self._stride != 0:
+            return
+        self.indices.append(index)
+        self.footprint.append(record.footprint_after)
+        self.volume.append(record.volume_after)
+        if not self.every and len(self.indices) > self.max_points:
+            # Adaptive mode: decimate in place and double the stride.
+            self.indices = self.indices[::2]
+            self.footprint = self.footprint[::2]
+            self.volume = self.volume[::2]
+            self._stride *= 2
+
+    def export(self) -> Dict[str, Any]:
+        """A JSON-serialisable summary (used by campaign artifacts)."""
+        return {
+            "stride": self._stride,
+            "requests_seen": self._seen,
+            "indices": list(self.indices),
+            "footprint": list(self.footprint),
+            "volume": list(self.volume),
+        }
+
+
+class HistoryObserver(Observer):
+    """Retain every :class:`RequestRecord` (the ``trace=True`` flag as an
+    observer, usable on any replay without reconstructing the allocator)."""
+
+    def __init__(self) -> None:
+        self.records: List[RequestRecord] = []
+
+    def on_request(self, record: RequestRecord) -> None:
+        self.records.append(record)
+
+
+# ---------------------------------------------------------------------- device
+class DeviceObserver(Observer):
+    """Drive a :class:`~repro.storage.devices.DeviceModel` with the replay.
+
+    Every insert becomes a device write of the object and every reallocation
+    a device move (read + write) — including the moves performed while a
+    pending deamortized flush is drained at the end of the replay, so the
+    device sees exactly the moves the allocator's stats count.
+    """
+
+    def __init__(self, device) -> None:
+        self.device = device
+
+    def on_request(self, record: RequestRecord) -> None:
+        if record.op == "insert":
+            self.device.write(record.size)
+
+    def on_move(self, move: MoveEvent) -> None:
+        if move.is_reallocation:
+            self.device.move(move.size)
+
+
+# -------------------------------------------------------------------- registry
+#: Observer kinds a campaign spec may request per cell, by name.  Every
+#: registered class must be constructible from JSON-able keyword arguments
+#: and expose ``export()`` returning a JSON-able result plus an
+#: ``export_key`` naming the record field it fills.
+OBSERVER_KINDS = {
+    "footprint_series": FootprintSeriesObserver,
+}
+
+
+def build_observer(entry) -> Observer:
+    """Build a registered observer from a spec entry (string or dict)."""
+    if isinstance(entry, str):
+        entry = {"kind": entry}
+    if not isinstance(entry, dict) or "kind" not in entry:
+        raise ValueError(f"observer entry {entry!r} must be a kind name or a dict with 'kind'")
+    params = dict(entry)
+    kind = params.pop("kind")
+    if kind not in OBSERVER_KINDS:
+        raise ValueError(f"unknown observer {kind!r}; known: {sorted(OBSERVER_KINDS)}")
+    try:
+        return OBSERVER_KINDS[kind](**params)
+    except (TypeError, ValueError) as error:
+        raise ValueError(f"bad parameters for observer {kind!r}: {error}") from error

@@ -43,6 +43,7 @@ from repro.costs import (
     RotatingDiskCost,
     SolidStateCost,
 )
+from repro.engine import Observer
 from repro.harness.results import ExperimentResult
 from repro.metrics import run_trace
 from repro.metrics.report import render_series
@@ -62,6 +63,97 @@ from repro.workloads import (
 
 #: Epsilons swept by the footprint / checkpoint experiments.
 EPSILON_SWEEP = (0.5, 0.25, 0.125, 0.0625)
+
+
+# ------------------------------------------------------ experiment observers
+class _ReservedSpaceObserver(Observer):
+    """E1: track max reserved-space and quiescent-footprint ratios."""
+
+    def __init__(self) -> None:
+        self.reserved_ratio = 0.0
+        self.footprint_ratio = 0.0
+        self._allocator = None
+
+    def on_attach(self, allocator) -> None:
+        self._allocator = allocator
+
+    def on_request(self, record) -> None:
+        if record.volume_after <= 0:
+            return
+        self.reserved_ratio = max(
+            self.reserved_ratio, self._allocator.bounded_space() / record.volume_after
+        )
+        # The footprint guarantee applies between flushes; the deamortized
+        # variant may legitimately hold an extra O(Delta) of working space
+        # while a flush is in progress (Lemma 3.5), so sample its footprint
+        # when quiescent.
+        if not getattr(self._allocator, "flush_in_progress", False):
+            self.footprint_ratio = max(
+                self.footprint_ratio, record.footprint_after / record.volume_after
+            )
+
+
+class _WorstRequestObserver(Observer):
+    """E3: the largest number of objects moved by any single request."""
+
+    def __init__(self) -> None:
+        self.worst_moves = 0
+
+    def on_request(self, record) -> None:
+        if record.move_count > self.worst_moves:
+            self.worst_moves = record.move_count
+
+
+class _WorstCaseBoundObserver(Observer):
+    """E7: per-request moved volume against the Lemma 3.6 bound."""
+
+    def __init__(self, epsilon: float) -> None:
+        self.epsilon = epsilon
+        self.worst_moved = 0
+        self.worst_bound = 0.0
+        self.violations = 0
+        self._allocator = None
+
+    def on_attach(self, allocator) -> None:
+        self._allocator = allocator
+
+    def on_request(self, record) -> None:
+        allocator = self._allocator
+        deamortized = isinstance(allocator, DeamortizedReallocator)
+        if deamortized:
+            bound = allocator.work_factor * record.size + max(allocator.delta, 1)
+        else:
+            bound = predicted_worst_case_moved_volume(
+                self.epsilon,
+                record.size,
+                max(allocator.delta, 1),
+                constant=4.0 / (self.epsilon / 3),
+            )
+        moved = record.moved_volume
+        if moved > self.worst_moved:
+            self.worst_moved = moved
+            self.worst_bound = bound
+        if deamortized and moved > bound:
+            self.violations += 1
+
+
+class _WorstRequestCostObserver(Observer):
+    """E8: the most expensive single request under each cost function."""
+
+    def __init__(self, costs) -> None:
+        self.costs = tuple(costs)
+        self.worst_cost = {f.name: 0.0 for f in self.costs}
+        self.worst_moved = 0
+        self.worst_moves = 0
+
+    def on_request(self, record) -> None:
+        moved_sizes = [m.size for m in record.moves if m.is_reallocation]
+        self.worst_moved = max(self.worst_moved, sum(moved_sizes))
+        self.worst_moves = max(self.worst_moves, len(moved_sizes))
+        for f in self.costs:
+            self.worst_cost[f.name] = max(
+                self.worst_cost[f.name], sum(f(s) for s in moved_sizes)
+            )
 
 #: The three reallocator variants the paper develops, in presentation order.
 PAPER_VARIANTS = (
@@ -104,37 +196,17 @@ def run_e1_footprint(quick: bool = True) -> ExperimentResult:
                 sizes["churn"], UniformSizes(1, 64), target_live=sizes["live"], seed=11
             )
             allocator = cls(epsilon=epsilon)
-            reserved_ratio = 0.0
-            footprint_ratio = 0.0
-            for request in trace:
-                if request.is_insert:
-                    record = allocator.insert(request.name, request.size)
-                else:
-                    record = allocator.delete(request.name)
-                if record.volume_after > 0:
-                    reserved_ratio = max(
-                        reserved_ratio, allocator.bounded_space() / record.volume_after
-                    )
-                    # The footprint guarantee applies between flushes; the
-                    # deamortized variant may legitimately hold an extra
-                    # O(Delta) of working space while a flush is in progress
-                    # (Lemma 3.5), so sample its footprint when quiescent.
-                    if not getattr(allocator, "flush_in_progress", False):
-                        footprint_ratio = max(
-                            footprint_ratio,
-                            record.footprint_after / record.volume_after,
-                        )
-            if hasattr(allocator, "finish_pending_work"):
-                allocator.finish_pending_work()
+            watcher = _ReservedSpaceObserver()
+            run_trace(allocator, trace, observers=[watcher])
             stats = allocator.stats
-            measured[label][epsilon] = reserved_ratio
+            measured[label][epsilon] = watcher.reserved_ratio
             result.rows.append(
                 [
                     label,
                     epsilon,
                     round(predicted_footprint_ratio(epsilon), 4),
-                    round(footprint_ratio, 4),
-                    round(reserved_ratio, 4),
+                    round(watcher.footprint_ratio, 4),
+                    round(watcher.reserved_ratio, 4),
                     round(stats.amortized_moves_per_insert, 2),
                 ]
             )
@@ -230,15 +302,9 @@ def run_e3_baselines(quick: bool = True) -> ExperimentResult:
     summary: Dict[str, Dict[str, float]] = {}
     for factory in contenders:
         churn_alloc = factory()
-        worst_moves = 0
-        for request in churn:
-            if request.is_insert:
-                record = churn_alloc.insert(request.name, request.size)
-            else:
-                record = churn_alloc.delete(request.name)
-            worst_moves = max(worst_moves, record.move_count)
-        if hasattr(churn_alloc, "finish_pending_work"):
-            churn_alloc.finish_pending_work()
+        worst_watcher = _WorstRequestObserver()
+        run_trace(churn_alloc, churn, observers=[worst_watcher])
+        worst_moves = worst_watcher.worst_moves
         churn_stats = churn_alloc.stats
         frag_alloc = factory()
         frag_metrics = run_trace(frag_alloc, fragmentation, cost_functions=costs)
@@ -469,38 +535,20 @@ def run_e7_worst_case(quick: bool = True) -> ExperimentResult:
         ("deamortized (Sec. 3.3)", DeamortizedReallocator),
     ):
         allocator = cls(epsilon=epsilon)
-        worst_moved = 0
-        worst_bound = 0.0
-        violations = 0
-        for request in trace:
-            if request.is_insert:
-                record = allocator.insert(request.name, request.size)
-            else:
-                record = allocator.delete(request.name)
-            update_size = record.size
-            if isinstance(allocator, DeamortizedReallocator):
-                bound = allocator.work_factor * update_size + max(allocator.delta, 1)
-            else:
-                bound = predicted_worst_case_moved_volume(
-                    epsilon, update_size, max(allocator.delta, 1), constant=4.0 / (epsilon / 3)
-                )
-            if record.moved_volume > worst_moved:
-                worst_moved = record.moved_volume
-                worst_bound = bound
-            if isinstance(allocator, DeamortizedReallocator) and record.moved_volume > bound:
-                violations += 1
-        if hasattr(allocator, "finish_pending_work"):
-            allocator.finish_pending_work()
+        watcher = _WorstCaseBoundObserver(epsilon)
+        run_trace(allocator, trace, observers=[watcher])
         result.rows.append(
             [
                 label,
-                worst_moved,
-                int(worst_bound),
-                violations == 0 if isinstance(allocator, DeamortizedReallocator) else "n/a (amortized)",
+                watcher.worst_moved,
+                int(watcher.worst_bound),
+                watcher.violations == 0
+                if isinstance(allocator, DeamortizedReallocator)
+                else "n/a (amortized)",
                 round(allocator.stats.amortized_moved_volume_per_request, 1),
             ]
         )
-        result.data[label] = {"worst": worst_moved, "violations": violations}
+        result.data[label] = {"worst": watcher.worst_moved, "violations": watcher.violations}
     result.notes.append(
         "The amortized variant occasionally rebuilds everything in one request; "
         "the deamortized variant never exceeds (4/eps')w + Delta moved volume on "
@@ -534,21 +582,8 @@ def run_e8_lower_bound(quick: bool = True) -> ExperimentResult:
             (lambda: IdealPackingReallocator(), "ideal-packing"),
         ):
             allocator = factory()
-            worst_cost = {f.name: 0.0 for f in costs}
-            worst_moved = 0
-            worst_moves = 0
-            for request in trace:
-                if request.is_insert:
-                    record = allocator.insert(request.name, request.size)
-                else:
-                    record = allocator.delete(request.name)
-                moved_sizes = [m.size for m in record.moves if m.is_reallocation]
-                worst_moved = max(worst_moved, sum(moved_sizes))
-                worst_moves = max(worst_moves, len(moved_sizes))
-                for f in costs:
-                    worst_cost[f.name] = max(
-                        worst_cost[f.name], sum(f(s) for s in moved_sizes)
-                    )
+            watcher = _WorstRequestCostObserver(costs)
+            run_trace(allocator, trace, observers=[watcher], finish_pending=False)
             # Lemma 3.7's conclusion is Omega(f(Delta)): either the big object
             # moves (cost f(Delta)) or Omega(Delta) unit objects move (cost
             # Omega(Delta f(1)), which is Omega(f(Delta)) by subadditivity).
@@ -557,14 +592,14 @@ def run_e8_lower_bound(quick: bool = True) -> ExperimentResult:
                 [
                     delta,
                     label,
-                    worst_moved,
-                    worst_moves,
-                    round(worst_cost["constant"], 1),
-                    round(worst_cost["linear"], 1),
+                    watcher.worst_moved,
+                    watcher.worst_moves,
+                    round(watcher.worst_cost["constant"], 1),
+                    round(watcher.worst_cost["linear"], 1),
                     f"{lower['constant']:.0f} / {lower['linear']:.0f}",
                 ]
             )
-            result.data[(delta, label)] = worst_cost
+            result.data[(delta, label)] = watcher.worst_cost
     result.notes.append(
         "On the insert-Delta / insert Delta ones / delete-Delta sequence, every "
         "algorithm that keeps a 1.5V footprint pays Omega(f(Delta)) on some "

@@ -1,13 +1,29 @@
-"""Run a trace against an allocator and collect the paper's metrics."""
+"""Run a trace against an allocator and collect the paper's metrics.
+
+:func:`run_trace` is a thin composition over the observer-based
+:class:`~repro.engine.SimulationEngine`: an :class:`ExecutionMetrics` is the
+product of a :class:`~repro.engine.MetricsObserver` (headline scalars), a
+:class:`~repro.engine.CostObserver` (after-the-fact cost charging), and —
+when sampling is requested — a
+:class:`~repro.engine.FootprintSeriesObserver` (footprint/volume over time).
+The first two are passive, so a plain ``run_trace(allocator, trace)`` keeps
+the allocator's zero-instrumentation fast path.
+"""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.base import Allocator
 from repro.costs.base import CostFunction
+from repro.engine import (
+    CostObserver,
+    FootprintSeriesObserver,
+    MetricsObserver,
+    Observer,
+    SimulationEngine,
+)
 from repro.workloads.base import Trace
 
 
@@ -40,6 +56,7 @@ class ExecutionMetrics:
     cost_ratios: Dict[str, float] = field(default_factory=dict)
     footprint_series: List[int] = field(default_factory=list)
     volume_series: List[int] = field(default_factory=list)
+    series_indices: List[int] = field(default_factory=list)
 
     @property
     def requests_per_second(self) -> float:
@@ -65,6 +82,8 @@ def run_trace(
     cost_functions: Sequence[CostFunction] = (),
     sample_every: int = 0,
     finish_pending: bool = True,
+    observers: Sequence[Observer] = (),
+    max_series_points: int = 0,
 ) -> ExecutionMetrics:
     """Replay ``trace`` on ``allocator`` and return the collected metrics.
 
@@ -80,47 +99,35 @@ def run_trace(
     finish_pending:
         Drive any deamortized flush to completion at the end so final volumes
         and invariants are comparable across allocators.
+    observers:
+        Additional observers wired into the replay (experiment-specific
+        instrumentation; see :mod:`repro.engine`).
+    max_series_points:
+        If positive (and ``sample_every`` is zero), collect an adaptively
+        downsampled footprint series bounded to this many points.
     """
-    ratio_sum = 0.0
-    ratio_count = 0
-    footprint_series: List[int] = []
-    volume_series: List[int] = []
+    metrics_observer = MetricsObserver()
+    cost_observer = CostObserver(cost_functions)
+    series_observer: Optional[FootprintSeriesObserver] = None
+    if sample_every:
+        series_observer = FootprintSeriesObserver(every=sample_every)
+    elif max_series_points:
+        series_observer = FootprintSeriesObserver(max_points=max_series_points)
+    wired: List[Observer] = [metrics_observer, cost_observer]
+    if series_observer is not None:
+        wired.append(series_observer)
+    wired.extend(observers)
 
-    start = time.perf_counter()
-    for index, request in enumerate(trace):
-        if request.is_insert:
-            record = allocator.insert(request.name, request.size)
-        else:
-            record = allocator.delete(request.name)
-        if record.volume_after > 0:
-            ratio_sum += record.footprint_after / record.volume_after
-            ratio_count += 1
-        if sample_every and index % sample_every == 0:
-            footprint_series.append(record.footprint_after)
-            volume_series.append(record.volume_after)
-    if finish_pending and hasattr(allocator, "finish_pending_work"):
-        allocator.finish_pending_work()
-    elapsed = time.perf_counter() - start
+    run = SimulationEngine(allocator, wired, finish_pending=finish_pending).run(trace)
 
-    stats = allocator.stats
     return ExecutionMetrics(
         allocator=allocator.describe(),
         trace=trace.label,
-        requests=len(trace),
-        elapsed_seconds=elapsed,
-        final_volume=allocator.volume,
-        final_footprint=allocator.footprint,
-        max_footprint=stats.max_footprint,
-        max_footprint_ratio=stats.max_footprint_ratio,
-        mean_footprint_ratio=ratio_sum / ratio_count if ratio_count else 0.0,
-        total_moves=stats.total_moves,
-        total_moved_volume=stats.total_moved_volume,
-        moves_per_insert=stats.amortized_moves_per_insert,
-        max_request_moved_volume=stats.max_request_moved_volume,
-        max_request_checkpoints=stats.max_request_checkpoints,
-        total_checkpoints=stats.checkpoints,
-        flushes=stats.flushes,
-        cost_ratios={f.name: stats.cost_ratio(f) for f in cost_functions},
-        footprint_series=footprint_series,
-        volume_series=volume_series,
+        requests=run.requests,
+        elapsed_seconds=run.elapsed_seconds,
+        cost_ratios=cost_observer.cost_ratios,
+        footprint_series=series_observer.footprint if series_observer else [],
+        volume_series=series_observer.volume if series_observer else [],
+        series_indices=series_observer.indices if series_observer else [],
+        **metrics_observer.snapshot,
     )

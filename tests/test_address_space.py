@@ -83,3 +83,53 @@ def test_snapshot_is_a_copy():
     snapshot = space.snapshot()
     snapshot["a"] = Extent(100, 5)
     assert space.extent_of("a") == Extent(0, 5)
+
+
+# ------------------------------------------------------------ property tests
+def _naive_footprint(extents):
+    return max((extent.end for extent in extents.values()), default=0)
+
+
+def _naive_volume(extents):
+    return sum(extent.length for extent in extents.values())
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_incremental_footprint_and_volume_match_naive_recomputation(seed):
+    """Random place/move/remove sequences: the lazy-heap footprint and the
+    running volume counter must always agree with a from-scratch recompute."""
+    import random
+
+    rng = random.Random(seed)
+    space = AddressSpace(validate=False)  # overlaps allowed: stresses the heap
+    mirror = {}
+    next_id = 0
+    for step in range(400):
+        ops = ["place"]
+        if mirror:
+            ops += ["move", "remove", "remove"]
+        op = rng.choice(ops)
+        if op == "place":
+            name = f"obj-{next_id}"
+            next_id += 1
+            extent = Extent(rng.randint(0, 500), rng.randint(1, 64))
+            space.place(name, extent)
+            mirror[name] = extent
+        elif op == "move":
+            name = rng.choice(list(mirror))
+            extent = Extent(rng.randint(0, 500), mirror[name].length)
+            space.move(name, extent)
+            mirror[name] = extent
+        else:
+            name = rng.choice(list(mirror))
+            removed = space.remove(name)
+            assert removed == mirror.pop(name)
+        assert space.footprint() == _naive_footprint(mirror), f"step {step}"
+        assert space.volume() == _naive_volume(mirror), f"step {step}"
+        assert len(space) == len(mirror)
+    # Drain everything: the footprint must collapse back to zero.
+    for name in list(mirror):
+        space.remove(name)
+        del mirror[name]
+        assert space.footprint() == _naive_footprint(mirror)
+    assert space.footprint() == 0 and space.volume() == 0

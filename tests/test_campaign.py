@@ -238,3 +238,160 @@ def test_cli_trace_analyze(tmp_path, capsys):
 def test_cli_trace_analyze_missing_file(tmp_path, capsys):
     assert main(["trace", "analyze", str(tmp_path / "nope")]) == 2
     assert "repro trace analyze" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------- observers
+def test_spec_observers_produce_bounded_footprint_series(tmp_path):
+    spec = small_spec(observers=[{"kind": "footprint_series", "max_points": 32}])
+    result = run_campaign(spec, jobs=1)
+    assert all(record["status"] == "ok" for record in result.records)
+    for record in result.records:
+        series = record["footprint_series"]
+        assert 2 <= len(series["footprint"]) <= 32
+        assert len(series["footprint"]) == len(series["volume"]) == len(series["indices"])
+        assert series["requests_seen"] == record["requests"]
+    # The series survives the artifact round trip, and the CSV carries it.
+    paths = write_results(result, tmp_path / "out")
+    document = load_results(paths["results"])
+    for record in document["records"]:
+        assert "footprint_series" in record
+    with open(paths["csv"], newline="", encoding="utf-8") as handle:
+        rows = list(csv.reader(handle))
+    column = rows[0].index("footprint_series")
+    for row in rows[1:]:
+        assert row[column]  # space-separated, non-empty series
+        assert all(cell.isdigit() for cell in row[column].split())
+
+
+def test_spec_observers_are_validated_and_not_part_of_cell_id():
+    spec = small_spec(observers=["no_such_observer"])
+    with pytest.raises(SpecError, match="unknown observer"):
+        spec.validate()
+    with_observers = small_spec(observers=["footprint_series"]).expand()
+    without = small_spec().expand()
+    assert [c.cell_id for c in with_observers] == [c.cell_id for c in without]
+
+
+def test_parallel_observer_run_equals_serial_run():
+    spec = small_spec(observers=[{"kind": "footprint_series", "max_points": 16}])
+    serial = run_campaign(spec, jobs=1)
+    parallel = run_campaign(spec, jobs=2)
+    assert comparable(parallel.records) == comparable(serial.records)
+
+
+# ------------------------------------------------------------------- resume
+def test_run_campaign_resumes_from_completed_records():
+    from repro.campaign import completed_records
+    from repro.campaign.artifacts import campaign_to_dict
+
+    spec = small_spec()
+    first = run_campaign(spec, jobs=1)
+    document = campaign_to_dict(first)
+    # Pretend the sweep died halfway: keep only the first half of the records.
+    document["records"] = document["records"][: len(document["records"]) // 2]
+    completed = completed_records(document)
+    assert len(completed) == 4
+
+    second = run_campaign(spec, jobs=1, completed=completed)
+    assert len(second.records) == 8
+    assert second.metadata["resumed"] == 4
+    resumed = [r for r in second.records if r.get("resumed")]
+    assert {r["cell_id"] for r in resumed} == set(completed)
+    # Re-run cells and reused cells together reproduce the full first run.
+    stripped = [
+        {k: v for k, v in record.items() if k not in ("elapsed_seconds", "resumed")}
+        for record in second.records
+    ]
+    assert stripped == comparable(first.records)
+
+
+def test_resume_reruns_failed_cells():
+    from repro.campaign import completed_records
+    from repro.campaign.artifacts import campaign_to_dict
+
+    broken = small_spec(allocators=[{"kind": "cost_oblivious", "epsilon": 0.5}, "kaboom"])
+    first = run_campaign(broken, jobs=1)
+    completed = completed_records(campaign_to_dict(first))
+    assert len(completed) == 4  # error cells are not "completed"
+
+    fixed = small_spec(allocators=[{"kind": "cost_oblivious", "epsilon": 0.5}, "first_fit"])
+    second = run_campaign(fixed, jobs=1, completed=completed)
+    assert second.metadata["resumed"] == 4
+    assert all(record["status"] == "ok" for record in second.records)
+
+
+def test_cli_sweep_resume_finishes_half_completed_sweep(tmp_path, capsys):
+    spec_path = write_spec(tmp_path)
+    out_dir = tmp_path / "out"
+    assert main(["sweep", str(spec_path), "--out", str(out_dir), "--quiet"]) == 0
+    # Truncate results.json to simulate a sweep that died after one cell.
+    document = load_results(out_dir / "results.json")
+    document["records"] = document["records"][:1]
+    (out_dir / "results.json").write_text(json.dumps(document), encoding="utf-8")
+
+    capsys.readouterr()
+    assert main(["sweep", str(spec_path), "--resume", str(out_dir), "--quiet"]) == 0
+    out = capsys.readouterr().out
+    assert "resumed: 1 cell(s)" in out
+    document = load_results(out_dir / "results.json")  # artifacts default to DIR
+    assert document["cells"] == 2 and document["ok"] == 2
+    assert document["resumed"] == 1
+    assert sum(1 for r in document["records"] if r.get("resumed")) == 1
+
+
+def test_cli_sweep_resume_missing_results_fails_cleanly(tmp_path, capsys):
+    spec_path = write_spec(tmp_path)
+    assert main(["sweep", str(spec_path), "--resume", str(tmp_path / "absent")]) == 2
+    assert "cannot resume" in capsys.readouterr().err
+
+
+def test_resume_reruns_cells_missing_requested_observer_exports():
+    from repro.campaign import completed_records
+    from repro.campaign.artifacts import campaign_to_dict
+
+    plain = small_spec()
+    completed = completed_records(campaign_to_dict(run_campaign(plain, jobs=1)))
+    assert len(completed) == 8
+    # The resumed sweep now requests a footprint series the old records lack:
+    # nothing can be reused, every cell re-runs and gains the series.
+    with_series = small_spec(observers=[{"kind": "footprint_series", "max_points": 16}])
+    result = run_campaign(with_series, jobs=1, completed=completed)
+    assert result.metadata["resumed"] == 0
+    assert all("footprint_series" in record for record in result.records)
+
+
+def test_cli_sweep_resume_rejects_seed_mismatch(tmp_path, capsys):
+    spec_path = write_spec(tmp_path)
+    out_dir = tmp_path / "out"
+    assert main(["sweep", str(spec_path), "--out", str(out_dir), "--quiet"]) == 0
+    other_spec = write_spec(tmp_path, seed=99)
+    assert main(["sweep", str(other_spec), "--resume", str(out_dir), "--quiet"]) == 2
+    assert "campaign seed differs" in capsys.readouterr().err
+
+
+def test_cli_sweep_resume_with_changed_observers_reruns_all_cells(tmp_path, capsys):
+    spec_path = write_spec(tmp_path, observers=[{"kind": "footprint_series", "max_points": 16}])
+    out_dir = tmp_path / "out"
+    assert main(["sweep", str(spec_path), "--out", str(out_dir), "--quiet"]) == 0
+    resampled = write_spec(tmp_path, observers=[{"kind": "footprint_series", "max_points": 64}])
+    assert main(["sweep", str(resampled), "--resume", str(out_dir), "--quiet"]) == 0
+    captured = capsys.readouterr()
+    assert "observer configuration changed" in captured.err
+    document = load_results(out_dir / "results.json")
+    assert document["resumed"] == 0  # nothing reused under stale instrumentation
+    assert document["spec"]["observers"] == [{"kind": "footprint_series", "max_points": 64}]
+
+
+def test_resume_reruns_records_from_older_release():
+    from repro.campaign import completed_records
+    from repro.campaign.artifacts import campaign_to_dict
+
+    spec = small_spec()
+    document = campaign_to_dict(run_campaign(spec, jobs=1))
+    # Simulate a results.json written before records were version-stamped.
+    for record in document["records"]:
+        record.pop("record_version", None)
+        record.pop("observers", None)
+    result = run_campaign(spec, jobs=1, completed=completed_records(document))
+    assert result.metadata["resumed"] == 0  # stale semantics: nothing reused
+    assert all(r["record_version"] == 2 for r in result.records)
