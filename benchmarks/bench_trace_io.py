@@ -1,0 +1,119 @@
+"""Trace I/O benchmarks: v1-vs-v2 file size, load throughput, and the
+streaming peak-memory guard.
+
+Two hard guards run on every invocation (no ``--benchmark-only`` needed):
+
+* a synthetic churn trace saved as compressed v2 must be at most 25% of its
+  v1 text size, and
+* streaming replay through :class:`TraceFileSource` must complete with a
+  small fraction of the peak memory that materialising the :class:`Trace`
+  costs — i.e. the replay provably never holds the trace.
+
+The default trace is 200k requests so CI stays fast; set
+``REPRO_BENCH_FULL=1`` for the 1M-request version of the acceptance run::
+
+    REPRO_BENCH_FULL=1 PYTHONPATH=src python -m pytest benchmarks/bench_trace_io.py -q
+"""
+
+import os
+import tracemalloc
+
+import pytest
+
+from repro.allocators import FirstFitAllocator
+from repro.engine import SimulationEngine
+from repro.workloads import (
+    TraceFileSource,
+    UniformSizes,
+    churn_trace,
+    iter_trace,
+    load_trace,
+    save_trace,
+)
+
+REQUESTS = 1_000_000 if os.environ.get("REPRO_BENCH_FULL", "") == "1" else 200_000
+
+
+@pytest.fixture(scope="module")
+def trace_files(tmp_path_factory):
+    """The benchmark trace saved once in every format."""
+    base = tmp_path_factory.mktemp("traceio")
+    trace = churn_trace(REQUESTS, UniformSizes(1, 64), target_live=400, seed=77)
+    trace.metadata["seed"] = 77
+    paths = {
+        "v1": base / "churn.v1",
+        "v2": base / "churn.v2",
+        "v2z": base / "churn.v2z",
+    }
+    save_trace(trace, paths["v1"], version=1)
+    save_trace(trace, paths["v2"], version=2)
+    save_trace(trace, paths["v2z"], version=2, compress=True)
+    return {"trace": trace, "paths": paths}
+
+
+def test_v2_compressed_is_quarter_of_v1_size(trace_files):
+    """The acceptance guard: compressed v2 <= 25% of the v1 text size."""
+    sizes = {tag: os.path.getsize(path) for tag, path in trace_files["paths"].items()}
+    print(
+        f"\n{REQUESTS} requests: v1={sizes['v1']} bytes, v2={sizes['v2']} bytes "
+        f"({sizes['v2'] / sizes['v1']:.1%}), v2z={sizes['v2z']} bytes "
+        f"({sizes['v2z'] / sizes['v1']:.1%})"
+    )
+    assert sizes["v2"] < sizes["v1"], "uncompressed v2 must already beat the text format"
+    assert sizes["v2z"] <= 0.25 * sizes["v1"], (
+        f"compressed v2 is {sizes['v2z'] / sizes['v1']:.1%} of v1 "
+        f"({sizes['v2z']} vs {sizes['v1']} bytes); the format regressed past the "
+        "25% budget"
+    )
+
+
+@pytest.mark.parametrize("tag", ["v1", "v2", "v2z"])
+def test_load_throughput(benchmark, trace_files, tag):
+    """Full materialising load, timed per format."""
+    path = trace_files["paths"][tag]
+
+    loaded = benchmark.pedantic(load_trace, args=(path,), rounds=1, iterations=1)
+    assert len(loaded) == REQUESTS
+
+
+@pytest.mark.parametrize("tag", ["v1", "v2z"])
+def test_stream_throughput(benchmark, trace_files, tag):
+    """Streaming scan (no materialisation), timed per format."""
+    path = trace_files["paths"][tag]
+
+    def scan():
+        return sum(1 for _ in iter_trace(path))
+
+    assert benchmark.pedantic(scan, rounds=1, iterations=1) == REQUESTS
+
+
+def test_streaming_replay_never_materialises_the_trace(trace_files):
+    """The peak-memory guard: replaying the v2 file through a streaming
+    TraceFileSource must cost a small fraction of what load_trace costs,
+    which is only possible if the replay never holds the request list."""
+    path = trace_files["paths"]["v2z"]
+
+    tracemalloc.start()
+    trace = load_trace(path)
+    _, materialised_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    assert len(trace) == REQUESTS
+    del trace
+
+    allocator = FirstFitAllocator(audit=False)
+    tracemalloc.start()
+    run = SimulationEngine(allocator).run(TraceFileSource(path))
+    _, streaming_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    print(
+        f"\npeak memory replaying {REQUESTS} requests: "
+        f"materialised={materialised_peak // 1024} KiB, "
+        f"streaming={streaming_peak // 1024} KiB "
+        f"({streaming_peak / materialised_peak:.1%})"
+    )
+    assert run.requests == REQUESTS
+    assert streaming_peak <= materialised_peak * 0.2, (
+        f"streaming replay peaked at {streaming_peak} bytes vs {materialised_peak} "
+        "for the materialised trace; the pipeline is buffering the trace somewhere"
+    )

@@ -50,7 +50,16 @@ from repro.engine import (
     SimulationEngine,
 )
 from repro.metrics import run_trace
-from repro.workloads import Request, Trace
+from repro.workloads import (
+    Request,
+    RequestSource,
+    Trace,
+    TraceFileSource,
+    iter_trace,
+    load_trace,
+    save_trace,
+    trace_info,
+)
 
 __version__ = "1.0.0"
 
@@ -80,6 +89,12 @@ __all__ = [
     "SimulationEngine",
     "run_trace",
     "Request",
+    "RequestSource",
     "Trace",
+    "TraceFileSource",
+    "iter_trace",
+    "load_trace",
+    "save_trace",
+    "trace_info",
     "__version__",
 ]

@@ -108,13 +108,19 @@ def _execute(payload: Dict[str, Any]) -> Dict[str, Any]:
         observers.append(DeviceObserver(device))
     metrics = run_trace(allocator, trace, cost_functions=(cost,), observers=observers)
 
+    # Trace-shape statistics come from the allocator, not the workload: a
+    # streaming source (replay workload with "stream": true) has no len()
+    # or precomputed properties, and for a materialised Trace the freshly
+    # built allocator's view agrees exactly (the streaming-equivalence
+    # tests pin this down).
+    stats = allocator.stats
     result: Dict[str, Any] = {
-        "trace_label": trace.label,
-        "requests": len(trace),
-        "inserts": trace.num_inserts,
-        "deletes": trace.num_deletes,
-        "delta": trace.delta,
-        "inserted_volume": trace.total_inserted_volume,
+        "trace_label": metrics.trace,
+        "requests": metrics.requests,
+        "inserts": stats.inserts,
+        "deletes": stats.deletes,
+        "delta": allocator.delta,
+        "inserted_volume": stats.total_allocated_volume,
         "final_volume": metrics.final_volume,
         "final_footprint": metrics.final_footprint,
         "max_footprint": metrics.max_footprint,

@@ -94,6 +94,7 @@ from repro.workloads import (
     PowerOfTwoSizes,
     SizeDistribution,
     Trace,
+    TraceFileSource,
     UniformSizes,
     ZipfSizes,
     churn_trace,
@@ -296,13 +297,16 @@ def build_sizes(entry: Optional[AxisEntry]) -> SizeDistribution:
         raise SpecError(f"bad parameters for sizes {kind!r}: {error}") from error
 
 
-def build_workload(entry: AxisEntry, seed: int, dry_run: bool = False) -> Optional[Trace]:
-    """Build the trace for one workload entry using the given seed.
+def build_workload(entry: AxisEntry, seed: int, dry_run: bool = False):
+    """Build the trace (or streaming source) for one workload entry.
 
-    The returned trace's ``metadata`` is stamped with the spec entry and the
-    seed, so provenance survives into recorded trace files and artifacts.
-    ``dry_run`` only checks the entry resolves (kind + parameter names) and
-    returns ``None`` without generating any requests.
+    Returns a :class:`Trace` for synthetic workloads and plain ``replay``
+    entries, or a :class:`~repro.workloads.TraceFileSource` for ``replay``
+    entries with ``"stream": true`` — so a cell over a huge on-disk trace
+    file never materialises it.  The result's ``metadata`` is stamped with
+    the spec entry and the seed, so provenance survives into recorded trace
+    files and artifacts.  ``dry_run`` only checks the entry resolves (kind +
+    parameter names) and returns ``None`` without generating any requests.
     """
     trace = _build_workload_trace(entry, seed, dry_run)
     if trace is not None:
@@ -311,7 +315,7 @@ def build_workload(entry: AxisEntry, seed: int, dry_run: bool = False) -> Option
     return trace
 
 
-def _build_workload_trace(entry: AxisEntry, seed: int, dry_run: bool) -> Optional[Trace]:
+def _build_workload_trace(entry: AxisEntry, seed: int, dry_run: bool):
     params = normalise_entry(entry)
     kind = params.pop("kind")
     sizes = params.pop("sizes", None)
@@ -354,10 +358,13 @@ def _build_workload_trace(entry: AxisEntry, seed: int, dry_run: bool) -> Optiona
         return small_flood_trace(max_exponent, **params)
     if kind == "replay":
         path = params.pop("path", None)
+        stream = bool(params.pop("stream", False))
         if path is None:
             raise SpecError("replay workloads need a 'path'")
         if dry_run:
             return None
+        if stream:
+            return TraceFileSource(path, **params)
         return load_trace(path, **params)
     known = (
         "churn",

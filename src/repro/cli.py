@@ -18,6 +18,12 @@ Sweep a campaign matrix over four worker processes::
 Characterise a recorded trace before sweeping it::
 
     python -m repro trace analyze traces/prod.trace
+
+Re-encode a text trace into the compressed binary v2 format and inspect it
+(both stream, so multi-million-request files are fine)::
+
+    python -m repro trace convert traces/prod.trace traces/prod.v2 --format v2 --compress
+    python -m repro trace info traces/prod.v2
 """
 
 from __future__ import annotations
@@ -83,7 +89,27 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze_parser = trace_sub.add_parser(
         "analyze", help="print footprint / size / lifetime / death-time analytics"
     )
-    analyze_parser.add_argument("path", help="path to a trace file (v0 or v1 format)")
+    analyze_parser.add_argument("path", help="path to a trace file (v0, v1, or v2 format)")
+    convert_parser = trace_sub.add_parser(
+        "convert", help="re-encode a trace file into another format version (streaming)"
+    )
+    convert_parser.add_argument("input", help="source trace file (any known format)")
+    convert_parser.add_argument("output", help="destination trace file")
+    convert_parser.add_argument(
+        "--format",
+        choices=["v0", "v1", "v2"],
+        default="v2",
+        help="output format version (default: v2, the binary format)",
+    )
+    convert_parser.add_argument(
+        "--compress",
+        action="store_true",
+        help="zlib-compress the record body (v2 only)",
+    )
+    info_parser = trace_sub.add_parser(
+        "info", help="print a trace file's format, counts, and peak volume (streaming)"
+    )
+    info_parser.add_argument("path", help="path to a trace file (any known format)")
     return parser
 
 
@@ -167,10 +193,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if result.error_records else 0
 
 
-def _cmd_trace(args: argparse.Namespace) -> int:
-    if args.trace_command != "analyze":
-        print("repro trace: choose a subcommand (try: repro trace analyze <path>)", file=sys.stderr)
-        return 2
+def _cmd_trace_analyze(args: argparse.Namespace) -> int:
     from repro.campaign import analytics_result, analyze_trace
     from repro.workloads import load_trace
 
@@ -184,6 +207,117 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if trace.metadata:
         print(f"metadata: {trace.metadata}")
     return 0
+
+
+def _cmd_trace_convert(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.workloads import TraceFileSource, open_trace_writer
+
+    version = int(args.format[1:])
+    if args.compress and version != 2:
+        print(
+            f"repro trace convert: --compress is only supported by the v2 binary "
+            f"format, not {args.format}",
+            file=sys.stderr,
+        )
+        return 2
+    if os.path.abspath(args.input) == os.path.abspath(args.output):
+        print(
+            "repro trace convert: input and output are the same file; "
+            "conversion streams the input while writing, so it would corrupt it",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        source = TraceFileSource(args.input)
+    except (OSError, ValueError) as error:
+        print(f"repro trace convert: {error}", file=sys.stderr)
+        return 2
+    metadata = source.metadata
+    if version == 0 and metadata:
+        # v0 has no metadata block; converting down drops it (say so).
+        print(
+            f"repro trace convert: note: the v0 format cannot carry metadata; "
+            f"dropping {json.dumps(metadata, sort_keys=True)}",
+            file=sys.stderr,
+        )
+        metadata = None
+    try:
+        writer = open_trace_writer(
+            args.output,
+            version=version,
+            label=source.label,
+            metadata=metadata,
+            compress=args.compress,
+        )
+    except (OSError, ValueError) as error:
+        print(f"repro trace convert: {error}", file=sys.stderr)
+        return 2
+    try:
+        for request in source:
+            writer.write(request)
+        writer.close()
+    except (OSError, ValueError) as error:
+        writer.abort()
+        if os.path.exists(args.output):
+            os.unlink(args.output)
+        print(f"repro trace convert: {error}", file=sys.stderr)
+        return 2
+    print(
+        f"wrote {writer.count} request(s) to {args.output} "
+        f"({args.format}{', zlib-compressed' if args.compress else ''}, "
+        f"{os.path.getsize(args.output)} bytes)"
+    )
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.workloads import trace_info
+
+    try:
+        info = trace_info(args.path)
+    except (OSError, ValueError) as error:
+        print(f"repro trace info: {error}", file=sys.stderr)
+        return 2
+    rows = [
+        ("path", info.path),
+        ("format", info.format_description),
+        ("file size", f"{info.file_bytes} bytes"),
+        ("label", info.label),
+        ("requests", f"{info.requests} ({info.inserts} inserts / {info.deletes} deletes)"),
+        ("distinct names", str(info.distinct_names)),
+        ("delta (max object size)", str(info.delta)),
+        ("peak live volume", str(info.peak_volume)),
+        ("final live volume", str(info.final_volume)),
+        ("total inserted volume", str(info.total_inserted_volume)),
+    ]
+    if info.metadata:
+        rows.append(("metadata", json.dumps(info.metadata, sort_keys=True)))
+    width = max(len(name) for name, _ in rows)
+    for name, value in rows:
+        print(f"{name.ljust(width)}  {value}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    handlers = {
+        "analyze": _cmd_trace_analyze,
+        "convert": _cmd_trace_convert,
+        "info": _cmd_trace_info,
+    }
+    handler = handlers.get(args.trace_command)
+    if handler is None:
+        print(
+            "repro trace: choose a subcommand (try: repro trace analyze <path>, "
+            "repro trace convert <in> <out> --format v2, or repro trace info <path>)",
+            file=sys.stderr,
+        )
+        return 2
+    return handler(args)
 
 
 def main(argv: Optional[List[str]] = None) -> int:

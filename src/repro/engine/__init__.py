@@ -6,7 +6,7 @@ pluggable :class:`Observer` instances.  See ``README.md`` ("Architecture")
 for a worked example of writing a custom observer.
 """
 
-from repro.engine.engine import EngineRun, SimulationEngine, replay
+from repro.engine.engine import EngineRun, Replayable, SimulationEngine, replay
 from repro.engine.observers import (
     EVENT_HOOKS,
     OBSERVER_KINDS,
@@ -30,6 +30,7 @@ __all__ = [
     "HistoryObserver",
     "MetricsObserver",
     "Observer",
+    "Replayable",
     "SimulationEngine",
     "build_observer",
     "needs_events",

@@ -19,11 +19,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Iterable, List, Sequence, Union
 
 from repro.core.base import Allocator
 from repro.engine.observers import Observer, needs_events
-from repro.workloads.base import Trace
+from repro.workloads.base import Request, RequestSource, Trace
+
+#: What a replay can consume: a materialised trace, a streaming source
+#: (e.g. :class:`~repro.workloads.replay.TraceFileSource`), or any iterable
+#: of requests.
+Replayable = Union[Trace, RequestSource, Iterable[Request]]
 
 
 @dataclass
@@ -31,10 +36,15 @@ class EngineRun:
     """The outcome of one :meth:`SimulationEngine.run`."""
 
     allocator: Allocator
-    trace: Trace
+    trace: Replayable
     requests: int
     elapsed_seconds: float
     observers: List[Observer] = field(default_factory=list)
+
+    @property
+    def label(self) -> str:
+        """The replayed trace/source label (``"trace"`` for bare iterables)."""
+        return getattr(self.trace, "label", "trace")
 
     @property
     def requests_per_second(self) -> float:
@@ -68,11 +78,15 @@ class SimulationEngine:
         self.observers: List[Observer] = list(observers)
         self.finish_pending = finish_pending
 
-    def run(self, trace: Trace) -> EngineRun:
-        """Serve ``trace`` and return the run outcome.
+    def run(self, trace: Replayable) -> EngineRun:
+        """Serve ``trace`` (a :class:`Trace`, a streaming
+        :class:`~repro.workloads.base.RequestSource`, or any iterable of
+        requests) and return the run outcome.
 
-        Observers are attached for the duration of the call only, so the
-        same allocator can be replayed again with different instrumentation.
+        A streaming source is consumed one request at a time, so replaying a
+        10M-request on-disk trace never materialises it.  Observers are
+        attached for the duration of the call only, so the same allocator
+        can be replayed again with different instrumentation.
         """
         allocator = self.allocator
         active = [obs for obs in self.observers if needs_events(obs)]
@@ -80,6 +94,7 @@ class SimulationEngine:
             observer.on_attach(allocator)
         for observer in active:
             allocator.attach_observer(observer)
+        requests_before = allocator.stats.requests
         try:
             started = time.perf_counter()
             allocator.run(trace)
@@ -94,7 +109,7 @@ class SimulationEngine:
         return EngineRun(
             allocator=allocator,
             trace=trace,
-            requests=len(trace),
+            requests=allocator.stats.requests - requests_before,
             elapsed_seconds=elapsed,
             observers=self.observers,
         )
@@ -102,7 +117,7 @@ class SimulationEngine:
 
 def replay(
     allocator: Allocator,
-    trace: Trace,
+    trace: Replayable,
     observers: Sequence[Observer] = (),
     finish_pending: bool = True,
 ) -> EngineRun:

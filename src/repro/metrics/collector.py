@@ -22,9 +22,9 @@ from repro.engine import (
     FootprintSeriesObserver,
     MetricsObserver,
     Observer,
+    Replayable,
     SimulationEngine,
 )
-from repro.workloads.base import Trace
 
 
 @dataclass
@@ -78,7 +78,7 @@ class ExecutionMetrics:
 
 def run_trace(
     allocator: Allocator,
-    trace: Trace,
+    trace: Replayable,
     cost_functions: Sequence[CostFunction] = (),
     sample_every: int = 0,
     finish_pending: bool = True,
@@ -86,6 +86,12 @@ def run_trace(
     max_series_points: int = 0,
 ) -> ExecutionMetrics:
     """Replay ``trace`` on ``allocator`` and return the collected metrics.
+
+    ``trace`` may be a materialised :class:`~repro.workloads.base.Trace`, a
+    streaming :class:`~repro.workloads.base.RequestSource` (e.g. a
+    :class:`~repro.workloads.replay.TraceFileSource` over an on-disk v2
+    file), or any iterable of requests; the metrics are identical either
+    way since every number is derived from what the allocator observed.
 
     Parameters
     ----------
@@ -122,7 +128,7 @@ def run_trace(
 
     return ExecutionMetrics(
         allocator=allocator.describe(),
-        trace=trace.label,
+        trace=run.label,
         requests=run.requests,
         elapsed_seconds=run.elapsed_seconds,
         cost_ratios=cost_observer.cost_ratios,

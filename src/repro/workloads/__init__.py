@@ -8,7 +8,7 @@ sequences (including the Lemma 3.7 lower-bound instance), and plain-text
 trace recording / replay.
 """
 
-from repro.workloads.base import Request, Trace, trace_from_pairs
+from repro.workloads.base import Request, RequestSource, Trace, trace_from_pairs
 from repro.workloads.sizes import (
     SizeDistribution,
     UniformSizes,
@@ -33,10 +33,22 @@ from repro.workloads.adversarial import (
     fragmentation_attack_trace,
     sawtooth_trace,
 )
-from repro.workloads.replay import TRACE_FORMAT_VERSION, save_trace, load_trace
+from repro.workloads.binary import BINARY_FORMAT_VERSION, BinaryTraceWriter, TraceFormatError
+from repro.workloads.replay import (
+    KNOWN_TRACE_VERSIONS,
+    TRACE_FORMAT_VERSION,
+    TraceFileSource,
+    TraceInfo,
+    iter_trace,
+    load_trace,
+    open_trace_writer,
+    save_trace,
+    trace_info,
+)
 
 __all__ = [
     "Request",
+    "RequestSource",
     "Trace",
     "trace_from_pairs",
     "SizeDistribution",
@@ -59,5 +71,14 @@ __all__ = [
     "sawtooth_trace",
     "save_trace",
     "load_trace",
+    "iter_trace",
+    "trace_info",
+    "open_trace_writer",
+    "TraceFileSource",
+    "TraceInfo",
+    "TraceFormatError",
+    "BinaryTraceWriter",
     "TRACE_FORMAT_VERSION",
+    "BINARY_FORMAT_VERSION",
+    "KNOWN_TRACE_VERSIONS",
 ]

@@ -3,10 +3,27 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Hashable, Iterable, Iterator, List, Optional, Protocol, Sequence, Tuple
 
 INSERT = "insert"
 DELETE = "delete"
+
+
+class RequestSource(Protocol):
+    """Anything that can feed requests to a replay, one at a time.
+
+    The streaming counterpart of :class:`Trace`: ``Allocator.run``, the
+    :class:`~repro.engine.SimulationEngine`, and ``repro.metrics.run_trace``
+    accept any object satisfying this protocol, so a multi-million-request
+    replay (e.g. a :class:`~repro.workloads.replay.TraceFileSource` over an
+    on-disk v2 file) never has to materialise its trace.  Iteration must be
+    repeatable: each ``iter()`` yields the same requests from the start.
+    A :class:`Trace` satisfies the protocol trivially.
+    """
+
+    label: str
+
+    def __iter__(self) -> Iterator["Request"]: ...
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,465 @@
+"""The binary v2 trace container: compact, streamable, optionally compressed.
+
+Layout of a v2 file::
+
+    magic        8 bytes   b"\\x93RPTRACE" (first byte non-ASCII so text
+                           parsers bail out immediately)
+    version      varint    2
+    flags        1 byte    bit 0: record body is one zlib stream
+    header len   varint    byte length of the JSON header block
+    header       bytes     UTF-8 JSON: {"label": str, "meta": {...}}
+    body         records   (zlib-compressed as a whole when flagged)
+
+The body is a sequence of varint-encoded records over a *live-scoped
+interned name table*: an insert binds its name to an integer id (the most
+recently freed id, else the next fresh one — writer and reader mirror the
+same LIFO rule), a delete references the id and frees it again.  Ids are
+therefore bounded by the peak number of simultaneously *live* objects, so
+they stay one or two bytes even in traces with millions of distinct names —
+and so does the table itself, which is what keeps both ends of the pipe
+streaming.  Name bytes are *front-coded*: each name-carrying record stores
+the byte length it shares with the previously written name plus the new
+suffix, which collapses the ``obj-000123``-style names synthetic workloads
+generate to a couple of bytes.
+
+    0x01  INSERT, new name:   varint shared-prefix-len, varint suffix-len,
+                              suffix bytes, varint size   (binds an id)
+    0x02  INSERT, live name:  varint name-id, varint size (id stays bound;
+                              only produced for degenerate double-inserts)
+    0x03  DELETE, live name:  varint name-id              (frees the id)
+    0x04  DELETE, other name: varint shared-prefix-len, varint suffix-len,
+                              suffix bytes                (binds nothing)
+    0x00  END trailer:        varint total record count
+
+The END trailer makes truncation detectable: a reader that hits EOF before
+the trailer (or whose record count disagrees with it) reports a truncated
+file instead of silently yielding a prefix.  All varints are unsigned
+LEB128.
+
+Everything here is streaming: :class:`BinaryTraceWriter` and
+:func:`iter_binary_records` hold an I/O buffer plus per-*live*-object state
+(the id table and free-id stack), never anything proportional to the trace
+length or the number of distinct names.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.workloads.base import Request
+
+#: First bytes of every v2 trace file.
+MAGIC = b"\x93RPTRACE"
+#: The container version this module reads and writes.
+BINARY_FORMAT_VERSION = 2
+
+_FLAG_ZLIB = 0x01
+
+_TAG_END = 0x00
+_TAG_INSERT_NEW = 0x01
+_TAG_INSERT_REF = 0x02
+_TAG_DELETE_REF = 0x03
+_TAG_DELETE_NEW = 0x04
+
+_CHUNK = 64 * 1024
+
+
+class TraceFormatError(ValueError):
+    """A trace file is malformed: bad magic, truncated, or corrupt."""
+
+
+def encode_varint(value: int) -> bytes:
+    """Unsigned LEB128 encoding of ``value`` (which must be >= 0)."""
+    if value < 0:
+        raise ValueError(f"varints are unsigned, got {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+# --------------------------------------------------------------------- reader
+class _RecordStream:
+    """Bounded-buffer reader over a (possibly zlib-compressed) record body."""
+
+    def __init__(self, handle, compressed: bool, path) -> None:
+        self._handle = handle
+        self._path = path
+        self._decompressor = zlib.decompressobj() if compressed else None
+        self._buffer = b""
+        self._pos = 0
+        self._input_done = False
+
+    def _fill(self, need: int) -> None:
+        while len(self._buffer) - self._pos < need and not self._input_done:
+            chunk = self._handle.read(_CHUNK)
+            if not chunk:
+                self._input_done = True
+                if self._decompressor is not None:
+                    try:
+                        tail = self._decompressor.flush()
+                    except zlib.error as error:
+                        raise TraceFormatError(
+                            f"{self._path}: truncated or corrupt zlib record body ({error})"
+                        ) from error
+                    # flush() does not verify stream completeness; a clipped
+                    # final block or checksum only shows up as eof == False.
+                    if not self._decompressor.eof:
+                        raise TraceFormatError(
+                            f"{self._path}: truncated zlib record body "
+                            "(compressed stream ends mid-block)"
+                        )
+                    if tail:
+                        self._buffer = self._buffer[self._pos:] + tail
+                        self._pos = 0
+                break
+            if self._decompressor is not None:
+                try:
+                    chunk = self._decompressor.decompress(chunk)
+                except zlib.error as error:
+                    raise TraceFormatError(
+                        f"{self._path}: corrupt zlib record body ({error})"
+                    ) from error
+            self._buffer = self._buffer[self._pos:] + chunk
+            self._pos = 0
+
+    def at_eof(self) -> bool:
+        self._fill(1)
+        if len(self._buffer) - self._pos >= 1:
+            return False
+        if self._decompressor is not None and self._decompressor.unused_data:
+            raise TraceFormatError(
+                f"{self._path}: trailing data after the compressed record body"
+            )
+        return True
+
+    def read_exact(self, count: int, what: str) -> bytes:
+        self._fill(count)
+        if len(self._buffer) - self._pos < count:
+            raise TraceFormatError(
+                f"{self._path}: truncated trace file (unexpected end of data "
+                f"while reading {what})"
+            )
+        start = self._pos
+        self._pos += count
+        return self._buffer[start:self._pos]
+
+    def read_varint(self, what: str) -> int:
+        value = 0
+        shift = 0
+        while True:
+            byte = self.read_exact(1, what)[0]
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift > 63:
+                raise TraceFormatError(
+                    f"{self._path}: corrupt varint while reading {what} (over 9 bytes)"
+                )
+
+
+@dataclass
+class BinaryHeader:
+    """The decoded fixed header of a v2 trace file."""
+
+    version: int
+    compressed: bool
+    label: str
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+# These two header helpers intentionally mirror _RecordStream.read_exact /
+# read_varint: the header must be read byte-exactly from the raw handle (no
+# buffered overshoot into the body), while the body reader is specialised
+# for bulk chunked/decompressed input on the hot path.  Keep their guards
+# and error wording in sync.
+def _read_exact_from(handle, count: int, what: str, path) -> bytes:
+    data = handle.read(count)
+    if len(data) != count:
+        raise TraceFormatError(
+            f"{path}: truncated trace file (unexpected end of data while reading {what})"
+        )
+    return data
+
+
+def _read_varint_from(handle, what: str, path) -> int:
+    value = 0
+    shift = 0
+    while True:
+        byte = _read_exact_from(handle, 1, what, path)[0]
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value
+        shift += 7
+        if shift > 63:
+            raise TraceFormatError(
+                f"{path}: corrupt varint while reading {what} (over 9 bytes)"
+            )
+
+
+def read_binary_header(handle, path) -> BinaryHeader:
+    """Decode the v2 header from ``handle`` (positioned at offset 0).
+
+    The header is read byte-exactly, so ``handle`` is left positioned at the
+    first body byte.  Raises :class:`TraceFormatError` on bad magic, an
+    unknown version, or a malformed header block.
+    """
+    magic = handle.read(len(MAGIC))
+    if magic != MAGIC:
+        raise TraceFormatError(
+            f"{path}: bad magic {magic!r}; not a v2 binary trace"
+        )
+    version = _read_varint_from(handle, "format version", path)
+    if version != BINARY_FORMAT_VERSION:
+        raise TraceFormatError(
+            f"{path}: unsupported binary trace version {version}; "
+            f"this reader knows v{BINARY_FORMAT_VERSION}"
+        )
+    flags = _read_exact_from(handle, 1, "flags", path)[0]
+    if flags & ~_FLAG_ZLIB:
+        raise TraceFormatError(f"{path}: unknown flag bits 0x{flags:02x} in v2 header")
+    header_length = _read_varint_from(handle, "header length", path)
+    header_bytes = _read_exact_from(handle, header_length, "JSON header block", path)
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise TraceFormatError(f"{path}: malformed v2 JSON header block: {error}") from error
+    if not isinstance(header, dict):
+        raise TraceFormatError(
+            f"{path}: v2 header block must be a JSON object, "
+            f"got {type(header).__name__}"
+        )
+    metadata = header.get("meta", {})
+    if not isinstance(metadata, dict):
+        raise TraceFormatError(
+            f"{path}: v2 trace metadata must be a JSON object, "
+            f"got {type(metadata).__name__}"
+        )
+    return BinaryHeader(
+        version=version,
+        compressed=bool(flags & _FLAG_ZLIB),
+        label=str(header.get("label", "")),
+        metadata=metadata,
+    )
+
+
+def iter_binary_records(handle, header: BinaryHeader, path) -> Iterator[Request]:
+    """Yield the requests of a v2 body one at a time (bounded memory).
+
+    ``handle`` must be positioned at the first body byte (where
+    :func:`read_binary_header` leaves it).  Verifies the END trailer and the
+    record count, so truncated and over-long files raise
+    :class:`TraceFormatError` instead of yielding a silent prefix.
+    """
+    stream = _RecordStream(handle, compressed=header.compressed, path=path)
+    bound: Dict[int, str] = {}  # live name-id bindings
+    free_ids: list = []  # LIFO pool mirroring the writer's id assignment
+    next_id = 0
+    previous_name = b""  # front-coding state
+    count = 0
+
+    def read_name() -> str:
+        nonlocal previous_name
+        prefix_length = stream.read_varint("name prefix length")
+        if prefix_length > len(previous_name):
+            raise TraceFormatError(
+                f"{path}: record {count}: name prefix length {prefix_length} exceeds "
+                f"the previous name's {len(previous_name)} bytes"
+            )
+        suffix_length = stream.read_varint("name suffix length")
+        raw = previous_name[:prefix_length] + stream.read_exact(suffix_length, "name bytes")
+        previous_name = raw
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise TraceFormatError(f"{path}: record {count}: undecodable name: {error}") from error
+
+    def ref_name() -> str:
+        name_id = stream.read_varint("name id")
+        try:
+            return bound[name_id]
+        except KeyError:
+            raise TraceFormatError(
+                f"{path}: record {count}: name id {name_id} references an unbound name "
+                "(never inserted, or already deleted)"
+            ) from None
+
+    while True:
+        if stream.at_eof():
+            raise TraceFormatError(
+                f"{path}: truncated trace file (end of data before the END trailer; "
+                f"{count} record(s) read)"
+            )
+        tag = stream.read_exact(1, "record tag")[0]
+        if tag == _TAG_END:
+            declared = stream.read_varint("END trailer record count")
+            if declared != count:
+                raise TraceFormatError(
+                    f"{path}: record count mismatch: END trailer declares {declared}, "
+                    f"read {count}"
+                )
+            if not stream.at_eof():
+                raise TraceFormatError(f"{path}: trailing data after the END trailer")
+            return
+        count += 1
+        if tag == _TAG_INSERT_NEW:
+            name = read_name()
+            if free_ids:
+                name_id = free_ids.pop()
+            else:
+                name_id = next_id
+                next_id += 1
+            bound[name_id] = name
+            yield Request.insert(name, stream.read_varint("insert size"))
+        elif tag == _TAG_INSERT_REF:
+            name = ref_name()
+            yield Request.insert(name, stream.read_varint("insert size"))
+        elif tag == _TAG_DELETE_REF:
+            name_id = stream.read_varint("name id")
+            try:
+                name = bound.pop(name_id)
+            except KeyError:
+                raise TraceFormatError(
+                    f"{path}: record {count}: name id {name_id} references an unbound "
+                    "name (never inserted, or already deleted)"
+                ) from None
+            free_ids.append(name_id)
+            yield Request.delete(name)
+        elif tag == _TAG_DELETE_NEW:
+            yield Request.delete(read_name())
+        else:
+            raise TraceFormatError(
+                f"{path}: record {count}: unknown record tag 0x{tag:02x}"
+            )
+
+
+# --------------------------------------------------------------------- writer
+class BinaryTraceWriter:
+    """Streaming writer for the v2 binary trace format.
+
+    Usable as a context manager; requests are encoded and flushed through a
+    bounded buffer, so writing a 10M-request trace never holds it in memory:
+    the only growing state is the live-name table plus the free-id pool,
+    both bounded by the peak number of simultaneously live objects.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        label: str = "trace",
+        metadata: Optional[Dict[str, Any]] = None,
+        compress: bool = False,
+        compresslevel: int = 6,
+    ) -> None:
+        self.path = path
+        self.count = 0
+        header = {"label": str(label)}
+        if metadata:
+            header["meta"] = dict(metadata)
+        try:
+            header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
+        except (TypeError, ValueError) as error:
+            raise ValueError(
+                f"cannot save trace metadata to {path}: not JSON-serialisable ({error})"
+            ) from error
+        flags = _FLAG_ZLIB if compress else 0
+        self._handle = open(path, "wb")
+        self._handle.write(
+            MAGIC
+            + encode_varint(BINARY_FORMAT_VERSION)
+            + bytes([flags])
+            + encode_varint(len(header_bytes))
+            + header_bytes
+        )
+        self._compressor = zlib.compressobj(compresslevel) if compress else None
+        self._buffer = bytearray()
+        self._bound: Dict[str, int] = {}  # live name -> id
+        self._free_ids: list = []  # LIFO pool, mirrored by the reader
+        self._next_id = 0
+        self._previous_name = b""  # front-coding state
+        self._closed = False
+
+    def __enter__(self) -> "BinaryTraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+    def _encode_name(self, name: str) -> bytes:
+        """Front-coded name bytes: shared-prefix length + suffix."""
+        raw = name.encode("utf-8")
+        previous = self._previous_name
+        prefix = 0
+        limit = min(len(raw), len(previous))
+        while prefix < limit and raw[prefix] == previous[prefix]:
+            prefix += 1
+        self._previous_name = raw
+        return encode_varint(prefix) + encode_varint(len(raw) - prefix) + raw[prefix:]
+
+    def write(self, request: Request) -> None:
+        """Append one request to the trace."""
+        if self._closed:
+            raise ValueError(f"trace writer for {self.path} is already closed")
+        name = str(request.name)
+        name_id = self._bound.get(name)
+        buffer = self._buffer
+        if request.is_insert:
+            if name_id is None:
+                if self._free_ids:
+                    self._bound[name] = self._free_ids.pop()
+                else:
+                    self._bound[name] = self._next_id
+                    self._next_id += 1
+                buffer += bytes([_TAG_INSERT_NEW]) + self._encode_name(name)
+            else:
+                # Degenerate double-insert of a live name: keep the binding.
+                buffer += bytes([_TAG_INSERT_REF]) + encode_varint(name_id)
+            buffer += encode_varint(request.size)
+        else:
+            if name_id is None:
+                buffer += bytes([_TAG_DELETE_NEW]) + self._encode_name(name)
+            else:
+                del self._bound[name]
+                self._free_ids.append(name_id)
+                buffer += bytes([_TAG_DELETE_REF]) + encode_varint(name_id)
+        self.count += 1
+        if len(buffer) >= _CHUNK:
+            self._flush_buffer()
+
+    def _flush_buffer(self) -> None:
+        data = bytes(self._buffer)
+        self._buffer.clear()
+        if self._compressor is not None:
+            data = self._compressor.compress(data)
+        if data:
+            self._handle.write(data)
+
+    def close(self) -> None:
+        """Write the END trailer and close the file (idempotent)."""
+        if self._closed:
+            return
+        self._buffer += bytes([_TAG_END]) + encode_varint(self.count)
+        self._flush_buffer()
+        if self._compressor is not None:
+            self._handle.write(self._compressor.flush())
+        self._handle.close()
+        self._closed = True
+
+    def abort(self) -> None:
+        """Close the underlying file without writing a valid trailer."""
+        if not self._closed:
+            self._handle.close()
+            self._closed = True

@@ -1,10 +1,17 @@
-"""Plain-text trace recording and replay, with a versioned header.
+"""Trace recording and replay: three on-disk formats, one streaming core.
 
-Two on-disk formats are supported:
+Three coexisting formats are readable, with transparent detection (plus a
+transparent gzip container around any of them):
 
-* **v1** (written by default) starts with a ``# repro-trace v1`` header line
-  followed by optional ``# label <quoted>`` and ``# meta <json>`` lines, then
-  one request per line::
+* **v2** (binary, see :mod:`repro.workloads.binary`): magic + version
+  header, varint-encoded records with an interned name table, optional zlib
+  compression of the record body, and a JSON label/metadata block.  Written
+  by ``save_trace(..., version=2[, compress=True])``; the format for large
+  (multi-million-request) traces.
+
+* **v1** (text, written by default) starts with a ``# repro-trace v1``
+  header line followed by optional ``# label <quoted>`` and ``# meta
+  <json>`` lines, then one request per line::
 
         # repro-trace v1
         # label churn%20demo
@@ -12,37 +19,66 @@ Two on-disk formats are supported:
         I <quoted-name> <size>
         D <quoted-name>
 
-  Object names and the label are percent-encoded (``urllib.parse.quote`` with
-  no safe characters), so names containing whitespace, newlines, ``#`` or
-  ``%`` round-trip exactly.
+  Object names and the label are percent-encoded (``urllib.parse.quote``
+  with no safe characters), so names containing whitespace, newlines, ``#``
+  or ``%`` round-trip exactly.
 
-* **v0** (the historical format, still readable and writable) has no version
-  header — just an optional ``# trace <label>`` comment and raw ``I name
-  size`` / ``D name`` lines split on whitespace.  Because names are written
-  raw, ``save_trace(..., version=0)`` refuses names or labels containing
-  whitespace with a clear error instead of silently corrupting the file the
-  way the original writer did.
+* **v0** (the historical format, still readable and writable) has no
+  version header — just an optional leading ``# trace <label>`` comment and
+  raw ``I name size`` / ``D name`` lines split on whitespace.  Because
+  names are written raw, ``save_trace(..., version=0)`` refuses names or
+  labels containing whitespace with a clear error instead of silently
+  corrupting the file the way the original writer did.
 
-Names are stringified on save in both formats: a trace whose names are the
-integers ``1, 2, ...`` loads back with the string names ``"1", "2", ...``.
+Header lines (label / metadata) are recognised in the leading comment block
+of a text trace; later ``#`` lines are skipped as comments, except
+header-lookalikes (``# label`` / ``# meta`` / ``# trace``), which are
+rejected loudly rather than silently dropped.  Names are
+stringified on save in every format: a trace whose names are the integers
+``1, 2, ...`` loads back with the string names ``"1", "2", ...``.
+
+Streaming
+---------
+
+:func:`load_trace` materialises a full :class:`Trace`.  For traces too
+large to hold in memory, :func:`iter_trace` yields requests one at a time
+and :class:`TraceFileSource` wraps a file as a re-iterable
+:class:`~repro.workloads.base.RequestSource` that ``Allocator.run``, the
+:class:`~repro.engine.SimulationEngine`, and ``repro.metrics.run_trace``
+accept in place of a ``Trace``.  :func:`trace_info` computes a file's
+summary statistics (counts, delta, peak live volume) in one streaming pass.
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 import os
-from typing import Any, Dict, Optional, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional, Union
 from urllib.parse import quote, unquote
 
 from repro.workloads.base import Request, Trace
+from repro.workloads.binary import (
+    BinaryTraceWriter,
+    TraceFormatError,
+    iter_binary_records,
+    read_binary_header,
+    MAGIC as _V2_MAGIC,
+)
 
 #: Version written by :func:`save_trace` when none is requested.
 TRACE_FORMAT_VERSION = 1
+#: All format versions :func:`load_trace` / :func:`iter_trace` understand.
+KNOWN_TRACE_VERSIONS = (0, 1, 2)
 
 _V1_HEADER = "# repro-trace v1"
+_GZIP_MAGIC = b"\x1f\x8b"
 
 
-def _check_v0_token(token: str, what: str, path: Union[str, os.PathLike]) -> str:
+# -------------------------------------------------------------------- writers
+def _check_v0_token(token: str, what: str, path) -> str:
     if token != token.strip() or any(ch.isspace() for ch in token):
         raise ValueError(
             f"cannot save {what} {token!r} to {path} in the v0 trace format: "
@@ -54,72 +90,272 @@ def _check_v0_token(token: str, what: str, path: Union[str, os.PathLike]) -> str
     return token
 
 
+class _TextTraceWriterV0:
+    """Streaming writer for the legacy headerless text format."""
+
+    def __init__(self, path, label: str = "trace", metadata: Optional[dict] = None) -> None:
+        if metadata:
+            raise ValueError("the v0 trace format cannot carry metadata; use version=1")
+        if "\n" in label or "\r" in label:
+            raise ValueError(f"cannot save label {label!r} with newlines in v0 format")
+        self.path = path
+        self.count = 0
+        self._handle = open(path, "w", encoding="utf-8")
+        self._handle.write(f"# trace {label}\n")
+
+    def write(self, request: Request) -> None:
+        name = _check_v0_token(str(request.name), "object name", self.path)
+        if request.is_insert:
+            self._handle.write(f"I {name} {request.size}\n")
+        else:
+            self._handle.write(f"D {name}\n")
+        self.count += 1
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def abort(self) -> None:
+        self._handle.close()
+
+
+class _TextTraceWriterV1:
+    """Streaming writer for the percent-encoded v1 text format."""
+
+    def __init__(self, path, label: str = "trace", metadata: Optional[dict] = None) -> None:
+        self.path = path
+        self.count = 0
+        self._handle = open(path, "w", encoding="utf-8")
+        self._handle.write(_V1_HEADER + "\n")
+        self._handle.write(f"# label {quote(label, safe='')}\n")
+        if metadata:
+            self._handle.write(f"# meta {json.dumps(metadata, sort_keys=True)}\n")
+
+    def write(self, request: Request) -> None:
+        name = quote(str(request.name), safe="")
+        if not name:
+            raise ValueError(
+                f"cannot save an object with an empty name to {self.path}: "
+                "the line-oriented trace format needs a non-empty name field"
+            )
+        if request.is_insert:
+            self._handle.write(f"I {name} {request.size}\n")
+        else:
+            self._handle.write(f"D {name}\n")
+        self.count += 1
+
+    def close(self) -> None:
+        self._handle.close()
+
+    def abort(self) -> None:
+        self._handle.close()
+
+
+def open_trace_writer(
+    path: Union[str, os.PathLike],
+    version: int = TRACE_FORMAT_VERSION,
+    label: str = "trace",
+    metadata: Optional[Dict[str, Any]] = None,
+    compress: bool = False,
+):
+    """Open a streaming trace writer (``.write(request)`` / ``.close()``).
+
+    This is the single write path for every format: :func:`save_trace` and
+    ``repro trace convert`` both go through it.  ``compress`` is only
+    meaningful for the binary v2 format.
+    """
+    if compress and version != 2:
+        raise ValueError(
+            f"compression is only supported by the v2 binary format, not v{version}; "
+            "pass version=2 (or convert with --format v2 --compress)"
+        )
+    if version == 0:
+        return _TextTraceWriterV0(path, label=label, metadata=metadata)
+    if version == 1:
+        return _TextTraceWriterV1(path, label=label, metadata=metadata)
+    if version == 2:
+        return BinaryTraceWriter(path, label=label, metadata=metadata, compress=compress)
+    raise ValueError(
+        f"unknown trace format version {version!r}; known: "
+        + ", ".join(str(v) for v in KNOWN_TRACE_VERSIONS)
+    )
+
+
 def save_trace(
     trace: Trace,
     path: Union[str, os.PathLike],
     metadata: Optional[Dict[str, Any]] = None,
     version: int = TRACE_FORMAT_VERSION,
+    compress: bool = False,
 ) -> None:
-    """Write ``trace`` to ``path`` in the one-request-per-line text format.
+    """Write ``trace`` to ``path`` in the requested format version.
 
-    ``metadata`` (JSON-serialisable dict) is stored in the v1 header and comes
-    back as ``trace.metadata`` on load; requesting ``version=0`` with metadata
-    is an error since v0 has nowhere to put it.
+    ``metadata`` (JSON-serialisable dict) is merged over ``trace.metadata``
+    and stored in the v1/v2 header; requesting ``version=0`` with metadata
+    is an error since v0 has nowhere to put it.  ``compress=True`` (v2
+    only) zlib-compresses the record body.
     """
-    if version == 0:
-        if metadata:
-            raise ValueError("the v0 trace format cannot carry metadata; use version=1")
-        if "\n" in trace.label or "\r" in trace.label:
-            raise ValueError(f"cannot save label {trace.label!r} with newlines in v0 format")
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(f"# trace {trace.label}\n")
-            for request in trace:
-                name = _check_v0_token(str(request.name), "object name", path)
-                if request.is_insert:
-                    handle.write(f"I {name} {request.size}\n")
-                else:
-                    handle.write(f"D {name}\n")
-        return
-    if version != 1:
-        raise ValueError(f"unknown trace format version {version!r}; known: 0, 1")
     merged = dict(trace.metadata)
     if metadata:
         merged.update(metadata)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(_V1_HEADER + "\n")
-        handle.write(f"# label {quote(trace.label, safe='')}\n")
-        if merged:
-            handle.write(f"# meta {json.dumps(merged, sort_keys=True)}\n")
+    if version == 0 and trace.metadata and not metadata:
+        # v0 has no metadata block; a trace that merely *carries* metadata
+        # can still be saved (dropping it), but explicitly passing metadata
+        # to a v0 save is a caller error handled by the writer.
+        merged = {}
+    writer = open_trace_writer(
+        path, version=version, label=trace.label, metadata=merged or None, compress=compress
+    )
+    try:
         for request in trace:
-            name = quote(str(request.name), safe="")
-            if not name:
-                raise ValueError(
-                    f"cannot save an object with an empty name to {path}: "
-                    "the line-oriented trace format needs a non-empty name field"
-                )
-            if request.is_insert:
-                handle.write(f"I {name} {request.size}\n")
-            else:
-                handle.write(f"D {name}\n")
+            writer.write(request)
+        # close() is inside the guard: the v2 compressor buffers most bytes
+        # until close, so that is where a full disk actually surfaces.
+        writer.close()
+    except BaseException:
+        writer.abort()
+        raise
 
 
-def load_trace(path: Union[str, os.PathLike], label: str = "") -> Trace:
-    """Read a trace previously written by :func:`save_trace` (v0 or v1).
+# -------------------------------------------------------------------- readers
+def _open_container(path):
+    """Open ``path`` for binary reading, unwrapping a gzip container.
 
-    The format is detected from the first line; object names come back as
-    strings and sizes as integers.  An explicit ``label`` argument overrides
-    whatever the file header carries.
+    Returns ``(handle, container)`` where ``container`` is ``"gzip"`` or
+    ``"plain"`` and ``handle`` is positioned at offset 0 of the (inner)
+    trace bytes.
     """
-    with open(path, "r", encoding="utf-8") as handle:
-        lines = handle.read().splitlines()
-    if lines and lines[0].strip() == _V1_HEADER:
-        return _parse_v1(lines, path, label)
-    if lines and lines[0].strip().startswith("# repro-trace "):
-        raise ValueError(
-            f"{path}:1: unsupported trace format {lines[0].strip()!r}; "
-            f"this reader knows v0 and v1"
+    handle = open(path, "rb")
+    try:
+        head = handle.read(2)
+    except OSError:
+        handle.close()
+        raise
+    if head == _GZIP_MAGIC:
+        handle.close()
+        return gzip.open(path, "rb"), "gzip"
+    handle.seek(0)
+    return handle, "plain"
+
+
+@dataclass
+class _TraceShape:
+    """Where a trace file's records live and what its header said."""
+
+    container: str  # "plain" or "gzip"
+    version: int  # 0, 1, or 2
+    compressed: bool  # v2 zlib body flag
+    label: str
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    header_lines: int = 0  # leading text lines consumed by the header scan
+
+
+def _scan_text_header(text_handle, path) -> _TraceShape:
+    """Read the leading comment block of a text trace (v0 or v1).
+
+    Leaves ``text_handle`` positioned at the first record line (header
+    lines already consumed).
+    """
+    start = text_handle.tell()
+    first = text_handle.readline()
+    stripped = first.strip()
+    if stripped.startswith("# repro-trace ") and stripped != _V1_HEADER:
+        raise TraceFormatError(
+            f"{path}:1: unsupported trace format {stripped!r}; this reader knows "
+            "v0, v1, and the binary v2 container"
         )
-    return _parse_v0(lines, path, label)
+    shape = _TraceShape(
+        container="plain",
+        version=1 if stripped == _V1_HEADER else 0,
+        compressed=False,
+        label="",
+        header_lines=1,
+    )
+    if shape.version == 0:
+        if stripped.startswith("# trace "):
+            shape.label = stripped[len("# trace "):]
+        else:
+            # Not a header line: the first line is already a record (or a
+            # plain comment) — hand it back to the record scan.
+            shape.header_lines = 0
+            text_handle.seek(start)
+        return shape
+    while True:
+        position = text_handle.tell()
+        line = text_handle.readline()
+        stripped = line.strip()
+        if stripped.startswith("# label "):
+            shape.label = unquote(stripped[len("# label "):].strip())
+        elif stripped.startswith("# meta "):
+            try:
+                metadata = json.loads(stripped[len("# meta "):])
+            except json.JSONDecodeError as error:
+                raise TraceFormatError(
+                    f"{path}:{shape.header_lines + 1}: malformed metadata JSON: {error}"
+                ) from error
+            if not isinstance(metadata, dict):
+                raise TraceFormatError(
+                    f"{path}:{shape.header_lines + 1}: trace metadata must be a JSON "
+                    f"object, got {type(metadata).__name__}"
+                )
+            shape.metadata = metadata
+        elif not line or not stripped or stripped.startswith("#"):
+            if not line:
+                return shape
+        else:
+            text_handle.seek(position)
+            return shape
+        shape.header_lines += 1
+
+
+def _text_handle(handle):
+    return io.TextIOWrapper(handle, encoding="utf-8")
+
+
+def _probe(path) -> "_TraceShape":
+    """Detect the container, format version, and header of ``path``."""
+    handle, container = _open_container(path)
+    try:
+        magic = handle.read(len(_V2_MAGIC))
+        if magic == b"" and container == "plain":
+            raise TraceFormatError(
+                f"{path}: empty file; a valid trace always carries at least a header "
+                "(v0 '# trace' line, v1 '# repro-trace v1' line, or the v2 magic)"
+            )
+        if magic == _V2_MAGIC:
+            handle.seek(0)
+            header = read_binary_header(handle, path)
+            return _TraceShape(
+                container=container,
+                version=header.version,
+                compressed=header.compressed,
+                label=header.label,
+                metadata=header.metadata,
+            )
+        if magic[:1] == _V2_MAGIC[:1]:
+            raise TraceFormatError(
+                f"{path}: bad magic {magic!r}; looks like a binary trace but is not "
+                "a v2 file this reader understands"
+            )
+        handle.seek(0)
+        try:
+            text = _text_handle(handle)
+            if container == "gzip" and text.read(1) == "":
+                raise TraceFormatError(
+                    f"{path}: empty file; a valid trace always carries at least a "
+                    "header (v0 '# trace' line, v1 '# repro-trace v1' line, or the "
+                    "v2 magic)"
+                )
+            text.seek(0)
+            shape = _scan_text_header(text, path)
+        except UnicodeDecodeError as error:
+            raise TraceFormatError(
+                f"{path}: not a valid trace: neither the v2 binary magic nor "
+                f"decodable text ({error})"
+            ) from error
+        shape.container = container
+        return shape
+    finally:
+        handle.close()
 
 
 def _parse_record(line: str, line_number: int, path, decode) -> Request:
@@ -127,7 +363,11 @@ def _parse_record(line: str, line_number: int, path, decode) -> Request:
     if parts[0] == "I":
         if len(parts) != 3:
             raise ValueError(f"{path}:{line_number}: malformed insert {line!r}")
-        return Request.insert(decode(parts[1]), int(parts[2]))
+        try:
+            size = int(parts[2])
+        except ValueError:
+            raise ValueError(f"{path}:{line_number}: malformed insert {line!r}") from None
+        return Request.insert(decode(parts[1]), size)
     if parts[0] == "D":
         if len(parts) != 2:
             raise ValueError(f"{path}:{line_number}: malformed delete {line!r}")
@@ -135,44 +375,174 @@ def _parse_record(line: str, line_number: int, path, decode) -> Request:
     raise ValueError(f"{path}:{line_number}: unknown record {line!r}")
 
 
-def _parse_v0(lines, path, label: str) -> Trace:
-    requests = []
-    trace_label = label or os.path.basename(str(path))
-    for line_number, raw in enumerate(lines, start=1):
-        line = raw.strip()
-        if not line:
-            continue
-        if line.startswith("#"):
-            if line.startswith("# trace ") and not label:
-                trace_label = line[len("# trace "):]
-            continue
-        requests.append(_parse_record(line, line_number, path, decode=str))
-    return Trace(requests, label=trace_label)
-
-
-def _parse_v1(lines, path, label: str) -> Trace:
-    requests = []
-    trace_label = label or os.path.basename(str(path))
-    metadata: Dict[str, Any] = {}
-    for line_number, raw in enumerate(lines, start=1):
-        line = raw.strip()
-        if line_number == 1 or not line:
-            continue
-        if line.startswith("#"):
-            if line.startswith("# label ") and not label:
-                trace_label = unquote(line[len("# label "):].strip())
-            elif line.startswith("# meta "):
-                try:
-                    metadata = json.loads(line[len("# meta "):])
-                except json.JSONDecodeError as error:
-                    raise ValueError(
-                        f"{path}:{line_number}: malformed metadata JSON: {error}"
-                    ) from error
-                if not isinstance(metadata, dict):
-                    raise ValueError(
-                        f"{path}:{line_number}: trace metadata must be a JSON object, "
-                        f"got {type(metadata).__name__}"
+def _iter_text_records(text_handle, shape: _TraceShape, path) -> Iterator[Request]:
+    decode = unquote if shape.version == 1 else str
+    line_number = shape.header_lines
+    try:
+        for raw in text_handle:
+            line_number += 1
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                # Header lines must lead the file (the streaming header scan
+                # reads only the leading comment block); refusing them here
+                # beats silently dropping a label or metadata that the old
+                # whole-file reader would have honoured.
+                if line.startswith(("# label ", "# meta ")) or (
+                    shape.version == 0 and line.startswith("# trace ")
+                ):
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: header line {line.split()[1]!r} after "
+                        "the first record; header lines are only recognised at the "
+                        "top of the file — re-save or `repro trace convert` it"
                     )
-            continue
-        requests.append(_parse_record(line, line_number, path, decode=unquote))
-    return Trace(requests, label=trace_label, metadata=metadata)
+                continue
+            yield _parse_record(line, line_number, path, decode)
+    except UnicodeDecodeError as error:
+        raise TraceFormatError(
+            f"{path}:{line_number + 1}: not a valid text trace (undecodable bytes: {error})"
+        ) from error
+
+
+class TraceFileSource:
+    """A re-iterable, streaming :class:`~repro.workloads.base.RequestSource`
+    over a trace file in any known format (v0 / v1 / v2, optionally inside a
+    gzip container).
+
+    The header (format version, label, metadata) is read eagerly at
+    construction time; each ``iter()`` re-opens the file and yields
+    :class:`Request` objects one at a time, so replaying a 10M-request
+    trace never materialises it.  ``len()`` is intentionally *not*
+    provided — a request count would need a full pass; use
+    :func:`trace_info` when you want one.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], label: str = "") -> None:
+        self.path = path
+        self._shape = _probe(path)
+        self.version = self._shape.version
+        self.container = self._shape.container
+        self.compressed = self._shape.compressed
+        self.label = label or self._shape.label or os.path.basename(str(path))
+        self.metadata: Dict[str, Any] = dict(self._shape.metadata)
+
+    def __iter__(self) -> Iterator[Request]:
+        handle, _ = _open_container(self.path)
+        try:
+            if self.version == 2:
+                header = read_binary_header(handle, self.path)
+                yield from iter_binary_records(handle, header, self.path)
+            else:
+                text = _text_handle(handle)
+                shape = _scan_text_header(text, self.path)
+                yield from _iter_text_records(text, shape, self.path)
+        finally:
+            handle.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<TraceFileSource {str(self.path)!r} v{self.version}"
+            f"{' zlib' if self.compressed else ''}"
+            f"{' gzip' if self.container == 'gzip' else ''}>"
+        )
+
+
+def iter_trace(path: Union[str, os.PathLike]) -> Iterator[Request]:
+    """Yield the requests of a trace file one at a time (any known format).
+
+    Streaming counterpart of :func:`load_trace`: peak memory is bounded by
+    the read buffer (plus, for v2, the live-scoped name table — one entry
+    per simultaneously live object), never by the trace length.
+    """
+    return iter(TraceFileSource(path))
+
+
+def load_trace(path: Union[str, os.PathLike], label: str = "") -> Trace:
+    """Read a trace previously written by :func:`save_trace` (v0, v1, or v2).
+
+    The format is detected from the file's first bytes (a gzip container
+    around any format is unwrapped transparently); object names come back
+    as strings and sizes as integers.  An explicit ``label`` argument
+    overrides whatever the file header carries.  An empty file is rejected
+    with a clear :class:`ValueError` — no writer ever produces one.
+    """
+    source = TraceFileSource(path, label=label)
+    return Trace(source, label=source.label, metadata=source.metadata)
+
+
+@dataclass
+class TraceInfo:
+    """Summary of a trace file, computed in one streaming pass."""
+
+    path: str
+    file_bytes: int
+    container: str
+    version: int
+    compressed: bool
+    label: str
+    metadata: Dict[str, Any]
+    requests: int
+    inserts: int
+    deletes: int
+    distinct_names: int
+    delta: int
+    peak_volume: int
+    final_volume: int
+    total_inserted_volume: int
+
+    @property
+    def format_description(self) -> str:
+        parts = [f"v{self.version}", "binary" if self.version == 2 else "text"]
+        if self.compressed:
+            parts.append("zlib body")
+        if self.container == "gzip":
+            parts.append("gzip container")
+        return f"{parts[0]} ({', '.join(parts[1:])})"
+
+
+def trace_info(path: Union[str, os.PathLike]) -> TraceInfo:
+    """Characterise a trace file without materialising it.
+
+    Streams the file once, tracking the live-object map (memory is bounded
+    by the number of *simultaneously live* objects plus distinct names, not
+    the request count) to compute counts, delta, and peak live volume.
+    """
+    source = TraceFileSource(path)
+    requests = inserts = deletes = 0
+    delta = 0
+    volume = 0
+    peak_volume = 0
+    total_inserted = 0
+    live: Dict[str, int] = {}
+    names: set = set()
+    for request in source:
+        requests += 1
+        names.add(request.name)
+        if request.is_insert:
+            inserts += 1
+            total_inserted += request.size
+            if request.size > delta:
+                delta = request.size
+            volume += request.size - live.get(request.name, 0)
+            live[request.name] = request.size
+            if volume > peak_volume:
+                peak_volume = volume
+        else:
+            deletes += 1
+            volume -= live.pop(request.name, 0)
+    return TraceInfo(
+        path=str(path),
+        file_bytes=os.path.getsize(path),
+        container=source.container,
+        version=source.version,
+        compressed=source.compressed,
+        label=source.label,
+        metadata=source.metadata,
+        requests=requests,
+        inserts=inserts,
+        deletes=deletes,
+        distinct_names=len(names),
+        delta=delta,
+        peak_volume=peak_volume,
+        final_volume=volume,
+        total_inserted_volume=total_inserted,
+    )

@@ -395,3 +395,47 @@ def test_resume_reruns_records_from_older_release():
     result = run_campaign(spec, jobs=1, completed=completed_records(document))
     assert result.metadata["resumed"] == 0  # stale semantics: nothing reused
     assert all(r["record_version"] == 2 for r in result.records)
+
+
+# ----------------------------------------------------------- streaming cells
+def test_replay_workload_streams_from_v2_file(tmp_path):
+    """A replay workload with "stream": true replays the on-disk trace
+    without materialising it and produces a record identical to the
+    materialised cell (modulo the workload entry and timing)."""
+    trace = churn_trace(600, target_live=60, seed=13, label="recorded")
+    path = tmp_path / "recorded.v2z"
+    save_trace(trace, path, version=2, compress=True)
+    spec = small_spec(
+        workloads=[
+            {"kind": "replay", "path": str(path)},
+            {"kind": "replay", "path": str(path), "stream": True},
+        ],
+        allocators=[{"kind": "cost_oblivious", "epsilon": 0.5}],
+        costs=["linear"],
+    )
+    result = run_campaign(spec, jobs=1)
+    assert [r["status"] for r in result.records] == ["ok", "ok"]
+    materialised, streamed = result.records
+    ignore = {"index", "cell_id", "workload", "elapsed_seconds", "seed"}
+    assert {k: v for k, v in materialised.items() if k not in ignore} == {
+        k: v for k, v in streamed.items() if k not in ignore
+    }
+    assert streamed["requests"] == len(trace)
+    assert streamed["trace_label"] == "recorded"
+    assert streamed["delta"] == trace.delta
+    assert streamed["inserted_volume"] == trace.total_inserted_volume
+
+
+def test_streamed_replay_workload_builds_a_source(tmp_path):
+    from repro.workloads import Trace, TraceFileSource
+
+    trace = churn_trace(100, target_live=20, seed=1)
+    path = tmp_path / "t.v2"
+    save_trace(trace, path, version=2)
+    entry = {"kind": "replay", "path": str(path), "stream": True}
+    built = build_workload(entry, seed=9)
+    assert isinstance(built, TraceFileSource)
+    assert not isinstance(built, Trace)
+    # provenance stamping works on sources too
+    assert built.metadata["workload"] == entry
+    assert built.metadata["seed"] == 9

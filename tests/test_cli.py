@@ -27,3 +27,167 @@ def test_run_unknown_experiment_exits_with_status_2(capsys):
     err = capsys.readouterr().err
     assert "unknown experiment" in err
     assert "E1" in err  # the known-ids list is printed
+
+
+# ------------------------------------------------------- trace convert / info
+import gzip
+
+import pytest
+
+from repro.workloads import Request, Trace, churn_trace, load_trace, save_trace
+
+
+@pytest.fixture()
+def v1_trace_file(tmp_path):
+    trace = churn_trace(400, target_live=40, seed=5)
+    trace.metadata["seed"] = 5
+    path = tmp_path / "churn.v1"
+    save_trace(trace, path)
+    return trace, path
+
+
+def test_trace_convert_v1_to_v2_round_trips(v1_trace_file, tmp_path, capsys):
+    trace, path = v1_trace_file
+    out = tmp_path / "churn.v2"
+    assert main(["trace", "convert", str(path), str(out), "--format", "v2", "--compress"]) == 0
+    assert f"wrote {len(trace)} request(s)" in capsys.readouterr().out
+    loaded = load_trace(out)
+    assert len(loaded) == len(trace)
+    assert loaded.label == trace.label
+    assert loaded.metadata == trace.metadata
+    assert out.stat().st_size < path.stat().st_size
+
+
+def test_trace_convert_v2_back_to_v1(v1_trace_file, tmp_path):
+    trace, path = v1_trace_file
+    binary = tmp_path / "t.v2"
+    text = tmp_path / "back.v1"
+    assert main(["trace", "convert", str(path), str(binary)]) == 0  # default --format v2
+    assert main(["trace", "convert", str(binary), str(text), "--format", "v1"]) == 0
+    assert [(r.op, r.name) for r in load_trace(text)] == [
+        (r.op, str(r.name)) for r in trace
+    ]
+
+
+def test_trace_convert_to_v0_drops_metadata_with_note(v1_trace_file, tmp_path, capsys):
+    trace, path = v1_trace_file
+    out = tmp_path / "t.v0"
+    assert main(["trace", "convert", str(path), str(out), "--format", "v0"]) == 0
+    assert "cannot carry metadata" in capsys.readouterr().err
+    assert load_trace(out).metadata == {}
+
+
+def test_trace_info_reports_format_and_counts(v1_trace_file, tmp_path, capsys):
+    trace, path = v1_trace_file
+    out = tmp_path / "t.v2z"
+    main(["trace", "convert", str(path), str(out), "--compress"])
+    capsys.readouterr()
+    assert main(["trace", "info", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "v2 (binary, zlib body)" in printed
+    assert f"requests" in printed and str(len(trace)) in printed
+    assert f"peak live volume" in printed
+    assert '"seed": 5' in printed
+
+
+def test_trace_analyze_reads_v2_transparently(v1_trace_file, tmp_path, capsys):
+    _, path = v1_trace_file
+    out = tmp_path / "t.v2"
+    main(["trace", "convert", str(path), str(out)])
+    capsys.readouterr()
+    assert main(["trace", "analyze", str(out)]) == 0
+    assert "Trace analytics" in capsys.readouterr().out
+
+
+def test_trace_subcommand_required(capsys):
+    assert main(["trace"]) == 2
+    assert "subcommand" in capsys.readouterr().err
+
+
+@pytest.mark.parametrize("command", [["info"], ["convert"]])
+def test_trace_commands_reject_garbage_with_exit_2(tmp_path, capsys, command):
+    garbage = tmp_path / "garbage.bin"
+    garbage.write_bytes(bytes(range(190, 256)) * 7)
+    argv = ["trace"] + command + [str(garbage)]
+    if command == ["convert"]:
+        argv.append(str(tmp_path / "out.v2"))
+    assert main(argv) == 2
+    err = capsys.readouterr().err
+    assert "not a valid trace" in err
+    assert "Traceback" not in err
+
+
+def test_trace_info_truncated_v2_exit_2(tmp_path, capsys):
+    whole = tmp_path / "whole.v2"
+    save_trace(churn_trace(300, target_live=30, seed=2), whole, version=2)
+    clipped = tmp_path / "clipped.v2"
+    clipped.write_bytes(whole.read_bytes()[:150])
+    assert main(["trace", "info", str(clipped)]) == 2
+    err = capsys.readouterr().err
+    assert "truncated" in err
+    assert "Traceback" not in err
+
+
+def test_trace_convert_corrupt_v2_exit_2_and_no_partial_output(tmp_path, capsys):
+    whole = tmp_path / "whole.v2"
+    save_trace(churn_trace(300, target_live=30, seed=2), whole, version=2)
+    corrupt = tmp_path / "corrupt.v2"
+    data = bytearray(whole.read_bytes())
+    data[len(data) // 2] ^= 0xFF  # flip a record byte
+    corrupt.write_bytes(bytes(data))
+    out = tmp_path / "out.v1"
+    assert main(["trace", "convert", str(corrupt), str(out), "--format", "v1"]) == 2
+    err = capsys.readouterr().err
+    assert "repro trace convert:" in err
+    assert "Traceback" not in err
+    assert not out.exists()
+
+
+def test_trace_info_bad_magic_exit_2(tmp_path, capsys):
+    path = tmp_path / "badmagic"
+    path.write_bytes(b"\x93NOTRACE" + b"\x01" * 32)
+    assert main(["trace", "info", str(path)]) == 2
+    assert "bad magic" in capsys.readouterr().err
+
+
+def test_trace_info_unknown_version_exit_2(tmp_path, capsys):
+    path = tmp_path / "future.txt"
+    path.write_text("# repro-trace v9\nI a 1\n", encoding="utf-8")
+    assert main(["trace", "info", str(path)]) == 2
+    assert "unsupported trace format" in capsys.readouterr().err
+
+
+def test_trace_info_empty_file_exit_2(tmp_path, capsys):
+    path = tmp_path / "empty"
+    path.write_bytes(b"")
+    assert main(["trace", "info", str(path)]) == 2
+    assert "empty file" in capsys.readouterr().err
+
+
+def test_trace_info_missing_file_exit_2(tmp_path, capsys):
+    assert main(["trace", "info", str(tmp_path / "nope")]) == 2
+    assert "No such file" in capsys.readouterr().err
+
+
+def test_trace_convert_compress_requires_v2(v1_trace_file, tmp_path, capsys):
+    _, path = v1_trace_file
+    code = main(
+        ["trace", "convert", str(path), str(tmp_path / "o"), "--format", "v1", "--compress"]
+    )
+    assert code == 2
+    assert "v2" in capsys.readouterr().err
+
+
+def test_trace_convert_refuses_in_place(v1_trace_file, capsys):
+    _, path = v1_trace_file
+    assert main(["trace", "convert", str(path), str(path)]) == 2
+    assert "same file" in capsys.readouterr().err
+
+
+def test_trace_convert_reads_gzip_container(v1_trace_file, tmp_path):
+    trace, path = v1_trace_file
+    gz = tmp_path / "t.v1.gz"
+    gz.write_bytes(gzip.compress(path.read_bytes()))
+    out = tmp_path / "from-gz.v2"
+    assert main(["trace", "convert", str(gz), str(out)]) == 0
+    assert len(load_trace(out)) == len(trace)

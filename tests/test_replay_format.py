@@ -1,11 +1,28 @@
-"""Round-trip tests for the versioned trace file format (v0 and v1)."""
+"""Round-trip and cross-format tests for the trace file formats (v0/v1/v2).
 
+The cross-format battery saves randomized traces — weird names (whitespace,
+``#``, ``%``, unicode, space-adjacent), sizes from 1 up to multi-byte-varint
+huge — through every coexisting format and checks that all loaders agree
+request-for-request, so the three formats cannot drift apart silently.
+"""
+
+import gzip
 import random
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.workloads import Request, Trace, load_trace, save_trace
+from repro.workloads import (
+    Request,
+    Trace,
+    TraceFileSource,
+    TraceFormatError,
+    iter_trace,
+    load_trace,
+    save_trace,
+    trace_info,
+)
+from repro.workloads.binary import MAGIC, encode_varint
 from repro.workloads.replay import TRACE_FORMAT_VERSION
 
 
@@ -160,3 +177,364 @@ def test_default_format_is_v1(tmp_path):
     save_trace(Trace([Request.insert("a b", 2)]), path)
     assert TRACE_FORMAT_VERSION == 1
     assert path.read_text(encoding="utf-8").startswith("# repro-trace v1\n")
+
+
+# ---------------------------------------------------------- cross-format battery
+#: Names that historically break line-oriented formats: whitespace (leading,
+#: trailing, inner), record-keyword lookalikes, comment/escape characters,
+#: unicode, and near-empty names.
+WEIRD_NAMES = [
+    " ",
+    "  ",
+    " x",
+    "x ",
+    "a b",
+    "tab\tname",
+    "line\nbreak",
+    "# comment",
+    "# trace fake",
+    "# repro-trace v1",
+    "I",
+    "D",
+    "D 5",
+    "100%",
+    "%41",
+    "naïve",
+    "名前",
+    "обj",
+    " sep",
+]
+
+
+def random_weird_trace(seed, requests, huge_sizes=False):
+    """A seeded-random well-formed trace: weird + plain names, name reuse
+    after deletion (exercises the v2 intern table), sizes including 1 and —
+    when asked — multi-byte-varint huge values."""
+    rng = random.Random(seed)
+    pool = WEIRD_NAMES + [f"obj-{i}" for i in range(40)]
+    live = {}
+    out = []
+    max_size = 10**12 if huge_sizes else 512
+    for _ in range(requests):
+        if live and (rng.random() < 0.45 or len(live) == len(pool)):
+            name = rng.choice(sorted(live))
+            live.pop(name)
+            out.append(Request.delete(name))
+        else:
+            name = rng.choice([n for n in pool if n not in live])
+            size = rng.choice([1, 2, rng.randint(1, 64), rng.randint(1, max_size)])
+            live[name] = size
+            out.append(Request.insert(name, size))
+    return Trace(out, label=f"weird-{seed}", metadata={"seed": seed})
+
+
+def requests_of(loaded):
+    return [(r.op, r.name, r.size if r.is_insert else 0) for r in loaded]
+
+
+@pytest.mark.parametrize("seed", range(6))
+@pytest.mark.parametrize("requests", [1, 2, 37, 400])
+def test_cross_format_loaders_agree(tmp_path, seed, requests):
+    """The same trace through v1, v2, and compressed v2 (plus gzip containers)
+    loads back identically under every loader, request for request."""
+    trace = random_weird_trace(seed * 101 + requests, requests, huge_sizes=(seed % 2 == 0))
+    expected = [(r.op, str(r.name), r.size if r.is_insert else 0) for r in trace]
+    paths = {}
+    for tag, kwargs in [
+        ("v1", {"version": 1}),
+        ("v2", {"version": 2}),
+        ("v2z", {"version": 2, "compress": True}),
+    ]:
+        paths[tag] = tmp_path / f"t.{tag}"
+        save_trace(trace, paths[tag], **kwargs)
+    # gzip container around the text and the binary format
+    for tag in ("v1", "v2z"):
+        gz = tmp_path / f"t.{tag}.gz"
+        gz.write_bytes(gzip.compress(paths[tag].read_bytes()))
+        paths[f"{tag}.gz"] = gz
+    for tag, path in paths.items():
+        loaded = load_trace(path)
+        assert requests_of(loaded) == expected, tag
+        assert requests_of(iter_trace(path)) == expected, f"iter:{tag}"
+        assert loaded.label == trace.label, tag
+        assert loaded.metadata == trace.metadata, tag
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_cross_format_v0_agrees_on_safe_names(tmp_path, seed):
+    """Traces restricted to v0-safe names round-trip identically through all
+    four formats, including the legacy one."""
+    rng = random.Random(seed)
+    live = {}
+    out = []
+    for _ in range(120):
+        if live and rng.random() < 0.4:
+            name = rng.choice(sorted(live))
+            live.pop(name)
+            out.append(Request.delete(name))
+        else:
+            name = f"n{rng.randint(0, 30)}"
+            if name in live:
+                continue
+            live[name] = rng.randint(1, 512)
+            out.append(Request.insert(name, live[name]))
+    trace = Trace(out, label=f"safe-{seed}")
+    expected = [(r.op, str(r.name), r.size if r.is_insert else 0) for r in trace]
+    loads = {}
+    for version, compress in [(0, False), (1, False), (2, False), (2, True)]:
+        path = tmp_path / f"t.v{version}{'z' if compress else ''}"
+        save_trace(trace, path, version=version, compress=compress)
+        loads[path] = requests_of(load_trace(path))
+        assert loads[path] == expected, path
+        assert requests_of(iter_trace(path)) == expected, path
+
+
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(names=names_strategy, data=st.data())
+@pytest.mark.parametrize("compress", [False, True])
+def test_v2_round_trip_arbitrary_names(tmp_path_factory, names, data, compress):
+    """v2 survives arbitrary unicode names and huge sizes (hypothesis)."""
+    sizes = [data.draw(st.integers(min_value=1, max_value=2**40)) for _ in names]
+    trace = build_trace(names, sizes, shuffle_seed=data.draw(st.integers(0, 99)))
+    path = tmp_path_factory.mktemp("v2") / "trace.bin"
+    save_trace(trace, path, version=2, compress=compress)
+    assert_round_trip(trace, load_trace(path))
+
+
+def test_v2_label_metadata_and_override_round_trip(tmp_path):
+    trace = Trace(
+        [Request.insert("x", 3)],
+        label="churn demo\nwith newline",
+        metadata={"seed": 7, "kind": "churn"},
+    )
+    path = tmp_path / "meta.bin"
+    save_trace(trace, path, version=2, metadata={"extra": True}, compress=True)
+    loaded = load_trace(path)
+    assert loaded.label == "churn demo\nwith newline"
+    assert loaded.metadata == {"seed": 7, "kind": "churn", "extra": True}
+    assert load_trace(path, label="override").label == "override"
+
+
+@pytest.mark.parametrize("compress", [False, True])
+def test_v2_empty_trace_round_trips(tmp_path, compress):
+    path = tmp_path / "empty.bin"
+    save_trace(Trace([], label="empty"), path, version=2, compress=compress)
+    loaded = load_trace(path)
+    assert len(loaded) == 0
+    assert loaded.label == "empty"
+
+
+def test_v2_empty_name_round_trips(tmp_path):
+    """Unlike the line-oriented formats, v2 has a length field and can carry
+    the empty name."""
+    trace = Trace([Request.insert("", 2), Request.delete("")])
+    path = tmp_path / "noname.bin"
+    save_trace(trace, path, version=2)
+    assert [r.name for r in load_trace(path)] == ["", ""]
+
+
+def test_v2_name_coding_stays_compact(tmp_path):
+    """Front-coding + live-scoped ids: reinserting a just-deleted long name
+    costs a few bytes (full prefix share), deletes cost ~2 bytes — the
+    90-byte name must hit the file once, not 51 times."""
+    long_name = "a-rather-long-object-name-" + "x" * 64
+    trace = Trace(
+        [Request.insert(long_name, 5), Request.delete(long_name)] * 50
+        + [Request.insert(long_name, 5)]
+    )
+    path = tmp_path / "intern.bin"
+    save_trace(trace, path, version=2)
+    assert path.stat().st_size < len(long_name) + 101 * 5 + 64
+    assert requests_of(load_trace(path)) == requests_of(trace)
+
+
+def test_v2_ids_are_recycled_across_object_generations(tmp_path):
+    """A long trace whose live set stays tiny must keep its name ids tiny
+    too (the LIFO pool recycles them), no matter how many distinct names
+    pass through."""
+    out = []
+    for i in range(3000):
+        name = f"generation-{i:07d}"
+        out.append(Request.insert(name, 1))
+        out.append(Request.delete(name))
+    trace = Trace(out)
+    path = tmp_path / "recycle.bin"
+    save_trace(trace, path, version=2)
+    # Every delete must be a 2-byte DELETE_REF (tag + id 0): inserts are
+    # front-coded to ~5 bytes, so the whole file stays tiny.
+    assert path.stat().st_size < 6000 * 7
+    assert requests_of(load_trace(path)) == requests_of(trace)
+
+
+def test_trace_info_matches_trace_properties(tmp_path):
+    trace = random_weird_trace(99, 300)
+    path = tmp_path / "t.v2z"
+    save_trace(trace, path, version=2, compress=True)
+    info = trace_info(path)
+    assert info.requests == len(trace)
+    assert info.inserts == trace.num_inserts
+    assert info.deletes == trace.num_deletes
+    assert info.delta == trace.delta
+    assert info.peak_volume == trace.peak_volume()
+    assert info.total_inserted_volume == trace.total_inserted_volume
+    assert info.label == trace.label
+    assert info.metadata == trace.metadata
+    assert info.version == 2 and info.compressed
+
+
+def test_trace_file_source_is_re_iterable(tmp_path):
+    trace = random_weird_trace(7, 50)
+    path = tmp_path / "t.v2"
+    save_trace(trace, path, version=2)
+    source = TraceFileSource(path)
+    assert requests_of(source) == requests_of(source)
+    assert source.label == trace.label
+    assert source.metadata == trace.metadata
+
+
+def test_save_compress_requires_v2(tmp_path):
+    with pytest.raises(ValueError, match="v2"):
+        save_trace(Trace([]), tmp_path / "x", version=1, compress=True)
+
+
+# ------------------------------------------------------------- v2 error paths
+def v2_file(tmp_path, body, version=2, flags=0, header=b"{}"):
+    """Hand-assemble a v2 file around ``body`` (uncompressed records)."""
+    path = tmp_path / "crafted.bin"
+    path.write_bytes(
+        MAGIC + encode_varint(version) + bytes([flags]) + encode_varint(len(header)) + header + body
+    )
+    return path
+
+
+END = bytes([0x00])
+
+
+def test_empty_file_rejected_by_every_reader(tmp_path):
+    """The empty-file bugfix: a zero-byte file used to fall through format
+    detection as an empty v0 trace; now every reader rejects it clearly."""
+    path = tmp_path / "empty"
+    path.write_bytes(b"")
+    for reader in (load_trace, lambda p: list(iter_trace(p)), trace_info):
+        with pytest.raises(ValueError, match="empty file"):
+            reader(path)
+    gz = tmp_path / "empty.gz"
+    gz.write_bytes(gzip.compress(b""))
+    with pytest.raises(ValueError, match="empty file"):
+        load_trace(gz)
+
+
+def test_v2_truncation_detected_at_every_cut(tmp_path):
+    """Cutting a valid v2 file anywhere must raise, never yield a prefix."""
+    trace = random_weird_trace(3, 40)
+    for compress in (False, True):
+        path = tmp_path / f"whole{compress}.bin"
+        save_trace(trace, path, version=2, compress=compress)
+        data = path.read_bytes()
+        for cut in {1, 4, len(data) // 4, len(data) // 2, len(data) - 1}:
+            clipped = tmp_path / f"cut{compress}-{cut}.bin"
+            clipped.write_bytes(data[:cut])
+            with pytest.raises(ValueError):
+                list(iter_trace(clipped))
+            with pytest.raises(ValueError):
+                load_trace(clipped)
+
+
+def test_v2_bad_magic_rejected(tmp_path):
+    path = tmp_path / "badmagic.bin"
+    path.write_bytes(b"\x93RPTRACX" + b"\x00" * 16)
+    with pytest.raises(ValueError, match="bad magic"):
+        load_trace(path)
+
+
+def test_v2_unknown_version_rejected(tmp_path):
+    path = v2_file(tmp_path, END + encode_varint(0), version=3)
+    with pytest.raises(ValueError, match="unsupported binary trace version 3"):
+        load_trace(path)
+    with pytest.raises(ValueError, match="version"):
+        save_trace(Trace([]), tmp_path / "x.bin", version=3)
+
+
+def test_v2_unknown_flags_rejected(tmp_path):
+    path = v2_file(tmp_path, END + encode_varint(0), flags=0x82)
+    with pytest.raises(ValueError, match="unknown flag bits"):
+        load_trace(path)
+
+
+def test_v2_unknown_record_tag_rejected(tmp_path):
+    path = v2_file(tmp_path, bytes([0x7F]) + END + encode_varint(0))
+    with pytest.raises(ValueError, match="unknown record tag 0x7f"):
+        load_trace(path)
+
+
+def test_v2_unbound_name_reference_rejected(tmp_path):
+    # INSERT_REF of id 5 with nothing live
+    body = bytes([0x02]) + encode_varint(5) + encode_varint(1) + END + encode_varint(1)
+    with pytest.raises(ValueError, match="unbound"):
+        load_trace(v2_file(tmp_path, body))
+    # DELETE_REF of an id that was never bound
+    body = bytes([0x03]) + encode_varint(0) + END + encode_varint(1)
+    with pytest.raises(ValueError, match="unbound"):
+        load_trace(v2_file(tmp_path, body))
+
+
+def insert_new(name, size):
+    raw = name.encode("utf-8")
+    return bytes([0x01]) + encode_varint(0) + encode_varint(len(raw)) + raw + encode_varint(size)
+
+
+def test_v2_record_count_mismatch_rejected(tmp_path):
+    body = insert_new("a", 3) + END + encode_varint(9)
+    with pytest.raises(ValueError, match="count mismatch"):
+        load_trace(v2_file(tmp_path, body))
+
+
+def test_v2_overlong_name_prefix_rejected(tmp_path):
+    # front-coded prefix longer than the previous name (which is empty)
+    body = bytes([0x01]) + encode_varint(7) + encode_varint(0) + encode_varint(1)
+    body += END + encode_varint(1)
+    with pytest.raises(ValueError, match="prefix length"):
+        load_trace(v2_file(tmp_path, body))
+
+
+def test_v2_trailing_data_rejected(tmp_path):
+    path = v2_file(tmp_path, END + encode_varint(0) + b"junk")
+    with pytest.raises(ValueError, match="trailing data"):
+        load_trace(path)
+
+
+def test_v2_malformed_header_block_rejected(tmp_path):
+    path = v2_file(tmp_path, END + encode_varint(0), header=b"{not json")
+    with pytest.raises(ValueError, match="header block"):
+        load_trace(path)
+    path = v2_file(tmp_path, END + encode_varint(0), header=b"[1]")
+    with pytest.raises(ValueError, match="JSON object"):
+        load_trace(path)
+
+
+def test_binary_garbage_rejected_with_clear_error(tmp_path):
+    path = tmp_path / "garbage.bin"
+    path.write_bytes(bytes(range(200, 256)) * 5)
+    with pytest.raises(ValueError, match="not a valid trace"):
+        load_trace(path)
+
+
+def test_error_is_trace_format_error_subclass():
+    assert issubclass(TraceFormatError, ValueError)
+
+
+def test_text_header_lines_after_records_rejected(tmp_path):
+    """Header-lookalike lines past the leading block fail loudly instead of
+    silently dropping a label or metadata the old whole-file reader kept."""
+    v1 = tmp_path / "late-meta.txt"
+    v1.write_text('# repro-trace v1\nI a 3\n# meta {"seed": 7}\n', encoding="utf-8")
+    with pytest.raises(ValueError, match="after\\s+.*the first record"):
+        load_trace(v1)
+    v0 = tmp_path / "late-label.txt"
+    v0.write_text("I a 3\n# trace late\nD a\n", encoding="utf-8")
+    with pytest.raises(ValueError, match="top of the file"):
+        load_trace(v0)
+    # plain comments after records stay fine
+    ok = tmp_path / "comment.txt"
+    ok.write_text("# trace ok\nI a 3\n# just a comment\nD a\n", encoding="utf-8")
+    assert len(load_trace(ok)) == 2
