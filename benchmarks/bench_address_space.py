@@ -1,0 +1,117 @@
+"""Guards for the indexed address space: audited replays must stay fast.
+
+Two enforced assertions, both on first-fit churn replays:
+
+* **Index vs pre-index audit.**  ``_LegacyScanSpace`` reinstates the seed's
+  audit — a linear scan over every live extent per placement — on top of the
+  current address space.  The indexed audit must beat it by at least 5x on a
+  trace whose live set is large enough that the scan dominates (the captured
+  pre-index baseline ratio; at the full 50k-live scale the gap is orders of
+  magnitude, far too slow to time in CI).
+* **Audit overhead.**  With the index, ``validate=True`` must cost no more
+  than 2x the unaudited replay at scale (5k live by default, 50k with
+  ``REPRO_BENCH_FULL=1``) — which is what lets benchmarks and campaign cells
+  run audited by default.
+
+Timings are best-of-N with the two variants interleaved, so a load spike on
+a shared CI runner hits both sides.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.allocators import FirstFitAllocator
+from repro.storage.address_space import AddressSpace
+from repro.workloads import UniformSizes, churn_trace
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: Trace for the legacy-vs-indexed ratio: big enough for the O(n) scan to
+#: dominate, small enough that the legacy replay stays CI-friendly.
+LEGACY_TRACE = churn_trace(12_000, UniformSizes(1, 64), target_live=4_000, seed=31)
+
+#: Trace for the audited-vs-unaudited overhead guard.
+SCALE_TRACE = (
+    churn_trace(150_000, UniformSizes(1, 64), target_live=50_000, seed=32)
+    if FULL
+    else churn_trace(20_000, UniformSizes(1, 64), target_live=5_000, seed=32)
+)
+
+
+class _LegacyScanSpace(AddressSpace):
+    """The pre-index audit: check a placement against every live extent."""
+
+    def _find_overlap(self, extent, ignore=None):
+        for name, existing in self._extents.items():
+            if name == ignore:
+                continue
+            if existing.overlaps(extent):
+                return name
+        return None
+
+
+def _timed_replay(trace, audit=True, space_class=None):
+    allocator = FirstFitAllocator(audit=audit)
+    if space_class is not None:
+        allocator.space = space_class(validate=audit)
+    started = time.perf_counter()
+    allocator.run(trace)
+    elapsed = time.perf_counter() - started
+    assert allocator.stats.requests == len(trace)
+    return elapsed, allocator
+
+
+def test_indexed_audit_beats_the_legacy_scan_by_5x():
+    indexed = legacy = float("inf")
+    for _ in range(3):
+        indexed = min(indexed, _timed_replay(LEGACY_TRACE)[0])
+        legacy = min(legacy, _timed_replay(LEGACY_TRACE, space_class=_LegacyScanSpace)[0])
+    print(
+        f"\naudited first-fit replay ({len(LEGACY_TRACE)} requests, 4k live): "
+        f"indexed={indexed:.3f}s legacy-scan={legacy:.3f}s ({legacy / indexed:.1f}x)"
+    )
+    assert legacy >= 5 * indexed, (
+        f"indexed audit ({indexed:.3f}s) is less than 5x faster than the "
+        f"pre-index linear scan ({legacy:.3f}s); the overlap index has regressed"
+    )
+
+
+def test_indexed_audit_and_legacy_scan_agree():
+    """The speed guard is only meaningful if both audits accept the replay
+    and produce identical results."""
+    _, indexed = _timed_replay(LEGACY_TRACE)
+    _, legacy = _timed_replay(LEGACY_TRACE, space_class=_LegacyScanSpace)
+    assert indexed.footprint == legacy.footprint
+    assert indexed.volume == legacy.volume
+    indexed.space.verify_disjoint()
+
+
+def test_audited_replay_within_2x_of_unaudited_at_scale():
+    audited = unaudited = float("inf")
+    for _ in range(3):
+        audited = min(audited, _timed_replay(SCALE_TRACE, audit=True)[0])
+        unaudited = min(unaudited, _timed_replay(SCALE_TRACE, audit=False)[0])
+    live = "50k" if FULL else "5k"
+    print(
+        f"\nfirst-fit replay ({len(SCALE_TRACE)} requests, {live} live): "
+        f"audited={audited:.3f}s unaudited={unaudited:.3f}s "
+        f"({audited / unaudited:.2f}x)"
+    )
+    assert audited <= 2 * unaudited, (
+        f"audited replay ({audited:.3f}s) costs more than 2x the unaudited "
+        f"one ({unaudited:.3f}s); auditing is no longer affordable by default"
+    )
+
+
+@pytest.mark.parametrize("mode", ["audited", "unaudited"])
+def test_first_fit_replay_throughput(benchmark, mode):
+    """Statistical timing of the scale trace for run-to-run comparison."""
+
+    def run_once():
+        _, allocator = _timed_replay(SCALE_TRACE, audit=mode == "audited")
+        return allocator
+
+    allocator = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert allocator.stats.requests == len(SCALE_TRACE)

@@ -3,7 +3,19 @@
 Unlike the experiment benchmarks (which time a whole table regeneration once),
 these use pytest-benchmark's statistical timing on a fixed churn trace so the
 per-request overhead of the different algorithms can be compared run to run.
+
+All contenders run **audited** (the default): overlap auditing is an indexed
+O(log n) probe per placement, so these numbers track the configuration the
+experiments actually ship.
+
+Two tiers: the default ``small`` trace (120 live objects) measures constant
+factors; ``REPRO_BENCH_FULL=1`` adds a ``large`` tier (10k live objects)
+whose per-request times surface scaling regressions — any allocator whose
+per-request cost grows with the live set shows up as a large/small time
+ratio far above the other contenders'.
 """
+
+import os
 
 import pytest
 
@@ -21,26 +33,41 @@ from repro.core import (
 )
 from repro.workloads import UniformSizes, churn_trace
 
-TRACE = churn_trace(1200, UniformSizes(1, 64), target_live=120, seed=101)
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+TRACES = {"small": churn_trace(1200, UniformSizes(1, 64), target_live=120, seed=101)}
+if FULL:
+    TRACES["large"] = churn_trace(30_000, UniformSizes(1, 64), target_live=10_000, seed=202)
 
 CONTENDERS = [
-    ("first-fit", lambda: FirstFitAllocator(audit=False)),
-    ("best-fit", lambda: BestFitAllocator(audit=False)),
-    ("buddy", lambda: BuddyAllocator(audit=False)),
-    ("logging-compact", lambda: LoggingCompactingReallocator(audit=False)),
-    ("size-class-gap", lambda: SizeClassGapReallocator(audit=False)),
-    ("cost-oblivious", lambda: CostObliviousReallocator(epsilon=0.25, audit=False)),
-    ("checkpointed", lambda: CheckpointedReallocator(epsilon=0.25, audit=False)),
-    ("deamortized", lambda: DeamortizedReallocator(epsilon=0.25, audit=False)),
+    ("first-fit", FirstFitAllocator),
+    ("best-fit", BestFitAllocator),
+    ("buddy", BuddyAllocator),
+    ("logging-compact", LoggingCompactingReallocator),
+    ("size-class-gap", SizeClassGapReallocator),
+    ("cost-oblivious", lambda: CostObliviousReallocator(epsilon=0.25)),
+    ("checkpointed", lambda: CheckpointedReallocator(epsilon=0.25)),
+    ("deamortized", lambda: DeamortizedReallocator(epsilon=0.25)),
+]
+
+TIERS = [
+    "small",
+    pytest.param(
+        "large",
+        marks=pytest.mark.skipif(not FULL, reason="set REPRO_BENCH_FULL=1 for the 10k-live tier"),
+    ),
 ]
 
 
+@pytest.mark.parametrize("tier", TIERS)
 @pytest.mark.parametrize("name,factory", CONTENDERS, ids=[name for name, _ in CONTENDERS])
-def test_churn_throughput(benchmark, name, factory):
+def test_churn_throughput(benchmark, tier, name, factory):
+    trace = TRACES[tier]
+
     def run_once():
         allocator = factory()
-        allocator.run(TRACE)
+        allocator.run(trace)
         return allocator
 
     allocator = benchmark.pedantic(run_once, rounds=3, iterations=1)
-    assert allocator.stats.requests == len(TRACE)
+    assert allocator.stats.requests == len(trace)

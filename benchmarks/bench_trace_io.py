@@ -100,7 +100,7 @@ def test_streaming_replay_never_materialises_the_trace(trace_files):
     assert len(trace) == REQUESTS
     del trace
 
-    allocator = FirstFitAllocator(audit=False)
+    allocator = FirstFitAllocator()  # audited: the index adds O(live set) only
     tracemalloc.start()
     run = SimulationEngine(allocator).run(TraceFileSource(path))
     _, streaming_peak = tracemalloc.get_traced_memory()

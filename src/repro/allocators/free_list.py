@@ -1,26 +1,36 @@
-"""Classical non-moving allocators built on an explicit free list.
+"""Classical non-moving allocators built on an indexed free list.
 
 These implement the *memory allocation* problem the paper contrasts with:
 once placed, an object never moves, so the only lever is which free gap to
 choose.  The footprint competitive ratio of every such policy is
 ``Omega(log)`` in the worst case (Luby, Naor and Orda 1996), which experiment
 E3 demonstrates against the cost-oblivious reallocator.
+
+That lower bound is about footprint, not time: the gap *selection* itself is
+O(log n) per request here.  The gaps live in a
+:class:`~repro.storage.gap_index.GapIndex` — an address-ordered treap with
+subtree max lengths plus a size-ordered secondary index — so First Fit, Best
+Fit and Worst Fit are single index queries and coalescing on delete is a
+pair of neighbour probes, instead of the linear scans a flat list needs.
+Every policy's choice is identical to what the scan would have picked.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional, Tuple
+from typing import Hashable, List, Optional
 
 from repro.core.base import Allocator
 from repro.storage.extent import Extent
+from repro.storage.gap_index import GapIndex
 
 
 class FreeListAllocator(Allocator):
     """Base class for free-list policies; subclasses pick the gap.
 
     The free list holds maximal free extents *below* the high-water mark in
-    address order.  Inserts either reuse a gap (per policy) or extend the
-    high-water mark; deletes return the extent to the free list and coalesce.
+    an address/size-indexed :class:`GapIndex`.  Inserts either reuse a gap
+    (per policy) or extend the high-water mark; deletes return the extent to
+    the index and coalesce with adjacent gaps.
     """
 
     name = "free-list"
@@ -28,28 +38,34 @@ class FreeListAllocator(Allocator):
 
     def __init__(self, trace: bool = False, audit: bool = True) -> None:
         super().__init__(trace=trace, audit=audit)
-        self._free: List[Extent] = []  # sorted by start address
+        self._gaps = GapIndex()
         self._high_water = 0
 
     # ----------------------------------------------------------- policy hook
-    def _choose_gap(self, size: int) -> Optional[int]:
-        """Return the index into the free list to use, or None to extend."""
+    def _select_gap(self, size: int) -> Optional[int]:
+        """Return the start address of the gap to use, or None to extend."""
         raise NotImplementedError
 
     # -------------------------------------------------------------- requests
     def _do_insert(self, name: Hashable, size: int) -> None:
-        index = self._choose_gap(size)
-        if index is None:
+        address = self._select_gap(size)
+        extended = address is None
+        if extended:
             address = self._high_water
             self._high_water += size
         else:
-            gap = self._free[index]
-            address = gap.start
-            if gap.length == size:
-                del self._free[index]
+            self._gaps.take(address, size)
+        try:
+            self._place_object(name, size, address, reason="insert")
+        except BaseException:
+            # Keep the free list and high-water mark in step with the
+            # rollback Allocator._serve_insert performs on the address
+            # space, so the failed insert can be retried.
+            if extended:
+                self._high_water = address
             else:
-                self._free[index] = Extent(gap.start + size, gap.length - size)
-        self._place_object(name, size, address, reason="insert")
+                self._release(Extent(address, size))
+            raise
 
     def _do_delete(self, name: Hashable, size: int) -> None:
         extent = self._free_object(name)
@@ -57,32 +73,21 @@ class FreeListAllocator(Allocator):
 
     # ------------------------------------------------------------- free list
     def _release(self, extent: Extent) -> None:
-        """Insert ``extent`` into the free list, coalescing with neighbours."""
-        lo, hi = 0, len(self._free)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self._free[mid].start < extent.start:
-                lo = mid + 1
-            else:
-                hi = mid
-        start, end = extent.start, extent.end
-        # Coalesce with the predecessor and successor where adjacent.
-        if lo > 0 and self._free[lo - 1].end == start:
-            start = self._free[lo - 1].start
-            del self._free[lo - 1]
-            lo -= 1
-        if lo < len(self._free) and self._free[lo].start == end:
-            end = self._free[lo].end
-            del self._free[lo]
-        if end == self._high_water:
+        """Return ``extent`` to the free list, coalescing with neighbours."""
+        merged = self._gaps.absorb_adjacent(extent)
+        if merged.end == self._high_water:
             # Shrink the high-water mark instead of keeping a trailing gap.
-            self._high_water = start
+            self._high_water = merged.start
         else:
-            self._free.insert(lo, Extent(start, end - start))
+            self._gaps.add(merged)
+
+    def free_extents(self) -> List[Extent]:
+        """The current gaps below the high-water mark, in address order."""
+        return list(self._gaps)
 
     def free_volume(self) -> int:
-        """Total free space below the high-water mark."""
-        return sum(gap.length for gap in self._free)
+        """Total free space below the high-water mark (O(1) running counter)."""
+        return self._gaps.total_free
 
     @property
     def high_water(self) -> int:
@@ -94,11 +99,8 @@ class FirstFitAllocator(FreeListAllocator):
 
     name = "first-fit"
 
-    def _choose_gap(self, size: int) -> Optional[int]:
-        for index, gap in enumerate(self._free):
-            if gap.length >= size:
-                return index
-        return None
+    def _select_gap(self, size: int) -> Optional[int]:
+        return self._gaps.first_fit(size)
 
 
 class BestFitAllocator(FreeListAllocator):
@@ -106,14 +108,8 @@ class BestFitAllocator(FreeListAllocator):
 
     name = "best-fit"
 
-    def _choose_gap(self, size: int) -> Optional[int]:
-        best: Optional[int] = None
-        best_length = None
-        for index, gap in enumerate(self._free):
-            if gap.length >= size and (best_length is None or gap.length < best_length):
-                best = index
-                best_length = gap.length
-        return best
+    def _select_gap(self, size: int) -> Optional[int]:
+        return self._gaps.best_fit(size)
 
 
 class WorstFitAllocator(FreeListAllocator):
@@ -121,18 +117,17 @@ class WorstFitAllocator(FreeListAllocator):
 
     name = "worst-fit"
 
-    def _choose_gap(self, size: int) -> Optional[int]:
-        worst: Optional[int] = None
-        worst_length = -1
-        for index, gap in enumerate(self._free):
-            if gap.length >= size and gap.length > worst_length:
-                worst = index
-                worst_length = gap.length
-        return worst
+    def _select_gap(self, size: int) -> Optional[int]:
+        return self._gaps.worst_fit(size)
 
 
 class NextFitAllocator(FreeListAllocator):
-    """First Fit with a roving pointer that resumes where the last search ended."""
+    """First Fit with a roving pointer that resumes where the last search ended.
+
+    The rover is a *position* in the address-ordered gap list (exactly the
+    index the flat-list implementation kept), so the probe order — and every
+    placement — matches it request for request.
+    """
 
     name = "next-fit"
 
@@ -140,16 +135,11 @@ class NextFitAllocator(FreeListAllocator):
         super().__init__(trace=trace, audit=audit)
         self._rover = 0
 
-    def _choose_gap(self, size: int) -> Optional[int]:
-        count = len(self._free)
-        if count == 0:
-            return None
-        start = min(self._rover, count - 1)
-        for offset in range(count):
-            index = (start + offset) % count
-            if self._free[index].length >= size:
-                self._rover = index
-                return index
+    def _select_gap(self, size: int) -> Optional[int]:
+        for rank, start, length in self._gaps.scan(self._rover):
+            if length >= size:
+                self._rover = rank
+                return start
         return None
 
 
@@ -162,7 +152,7 @@ class AppendOnlyAllocator(FreeListAllocator):
 
     name = "append-only"
 
-    def _choose_gap(self, size: int) -> Optional[int]:
+    def _select_gap(self, size: int) -> Optional[int]:
         return None
 
     def _do_delete(self, name: Hashable, size: int) -> None:

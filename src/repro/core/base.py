@@ -40,8 +40,10 @@ class Allocator(ABC):
         Leave False for large benchmark runs; the aggregate statistics in
         :attr:`stats` are always maintained.
     audit:
-        When True (default) every placement is checked for overlaps against
-        all live objects.  Benchmarks switch this off for very large traces.
+        When True (default) every placement is checked for overlaps via the
+        address space's sorted index — an O(log n) neighbour probe, cheap
+        enough that benchmarks and campaign cells leave it on.  Set False
+        only to shave the last few percent off a huge throughput-only run.
     observers:
         Observers (see :mod:`repro.engine.observers`) notified of every
         request record, move, flush, and checkpoint.  Usually attached per

@@ -628,9 +628,11 @@ def run_e9_scaling(quick: bool = True) -> ExperimentResult:
         trace = churn_trace(length, UniformSizes(1, 64), target_live=sizes["live"], seed=71)
         inserted = trace.total_inserted_volume
         for factory in (
-            lambda: CostObliviousReallocator(epsilon=0.25, audit=False),
-            lambda: FirstFitAllocator(audit=False),
-            lambda: LoggingCompactingReallocator(audit=False),
+            # Audited (the default): the indexed overlap check is O(log n)
+            # per placement, so even the throughput table runs validated.
+            lambda: CostObliviousReallocator(epsilon=0.25),
+            FirstFitAllocator,
+            LoggingCompactingReallocator,
         ):
             allocator = factory()
             metrics = run_trace(allocator, trace)

@@ -6,7 +6,10 @@ database setting of Section 3, behind a block translation layer with
 checkpoint-based durability.  This package provides those substrates:
 
 * :mod:`repro.storage.extent` / :mod:`repro.storage.address_space` — extent
-  arithmetic and an address space that detects overlapping placements,
+  arithmetic and an address space that detects overlapping placements via a
+  bisect-maintained address-ordered index,
+* :mod:`repro.storage.gap_index` — the address+size indexed free-gap set
+  behind the classical free-list allocators (O(log n) first/best/worst fit),
 * :mod:`repro.storage.devices` — timing models for RAM, disk and SSD that
   can both drive a simulation and derive a cost function,
 * :mod:`repro.storage.checkpoint` — the checkpoint manager that enforces the
@@ -17,6 +20,7 @@ checkpoint-based durability.  This package provides those substrates:
 
 from repro.storage.extent import Extent, coalesce, total_length
 from repro.storage.address_space import AddressSpace, OverlapError
+from repro.storage.gap_index import GapIndex
 from repro.storage.checkpoint import CheckpointManager, FreedSpaceViolation
 from repro.storage.devices import (
     DeviceModel,
@@ -33,6 +37,7 @@ __all__ = [
     "total_length",
     "AddressSpace",
     "OverlapError",
+    "GapIndex",
     "CheckpointManager",
     "FreedSpaceViolation",
     "DeviceModel",

@@ -1,4 +1,4 @@
-"""An arbitrarily large linear address space with overlap detection.
+"""An arbitrarily large linear address space with indexed overlap detection.
 
 The reallocators in :mod:`repro.core` mirror every placement into an
 :class:`AddressSpace`.  Its two jobs are to *audit* the algorithms — raising
@@ -7,20 +7,33 @@ addresses — and to answer footprint queries (the paper's objective: the
 largest allocated address).
 
 Footprint and volume are maintained incrementally (lazy max-heap of extent
-end addresses plus a running volume counter) so per-request accounting stays
-cheap even for million-request traces.  Overlap auditing is a linear scan per
-placement; it is enabled by default and switched off by the benchmark harness
-for very large runs (``validate=False``), where the algorithm-level tests
-have already established correctness.
+end addresses plus a running volume counter); the heap is compacted whenever
+lazily-deleted entries dominate, so its memory stays bounded by the live set
+even on delete-heavy traces.
+
+Overlap auditing rides on an address-ordered index: a bisect-maintained list
+of ``(start, order, end, name)`` entries.  While validation is on, the live
+extents are pairwise disjoint by construction, so a placement can only clash
+with its nearest neighbours in address order — one bisect plus two neighbour
+probes, O(log n) per request instead of the pre-index scan over every live
+object.  The same index makes :meth:`free_gaps` and :meth:`verify_disjoint`
+single ordered walks with no sorting.  With ``validate=False`` the index is
+not maintained at all (overlapping extents would break its invariant), and
+the two queries fall back to sorting on demand, exactly like the pre-index
+implementation.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_left, insort
 from collections import Counter
 from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
 from repro.storage.extent import Extent
+
+#: Below this many heap entries compaction is never worth the rebuild.
+_HEAP_COMPACT_MIN = 64
 
 
 class OverlapError(RuntimeError):
@@ -33,17 +46,31 @@ class AddressSpace:
     Parameters
     ----------
     validate:
-        When True (default) every placement and move is checked against all
-        live extents and :class:`OverlapError` is raised on a clash.  When
-        False the check is skipped (used for large benchmark runs).
+        When True (default) every placement and move is checked against the
+        neighbouring live extents and :class:`OverlapError` is raised on a
+        clash.  When False the check is skipped and the address index is not
+        maintained (used for large unaudited benchmark runs).  The flag is
+        fixed at construction time.
     """
 
     def __init__(self, validate: bool = True) -> None:
-        self.validate = validate
+        self._validate = validate
         self._extents: Dict[Hashable, Extent] = {}
         self._volume = 0
         self._end_counts: Counter = Counter()
         self._end_heap: List[int] = []
+        self._tracked_ends = 0
+        # Address-ordered index, maintained only while validating: entries
+        # are (start, order, end, name) where ``order`` is a unique serial
+        # so bisection never compares the (possibly uncomparable) names.
+        self._index: List[Tuple[int, int, int, Hashable]] = []
+        self._order: Dict[Hashable, int] = {}
+        self._order_seq = 0
+
+    @property
+    def validate(self) -> bool:
+        """Whether placements are audited (fixed at construction time)."""
+        return self._validate
 
     def __len__(self) -> int:
         return len(self._extents)
@@ -65,15 +92,48 @@ class AddressSpace:
     def _find_overlap(
         self, extent: Extent, ignore: Optional[Hashable] = None
     ) -> Optional[Hashable]:
-        for name, existing in self._extents.items():
+        """Nearest-neighbour overlap probe on the address-ordered index.
+
+        Sound because the indexed extents (minus ``ignore``) are pairwise
+        disjoint: sorted by start they are also sorted by end, so only the
+        closest non-ignored entry on each side can reach into ``extent``.
+        """
+        index = self._index
+        pos = bisect_left(index, (extent.start,))
+        i = pos - 1
+        while i >= 0:  # nearest predecessor (start < extent.start)
+            _, _, end, name = index[i]
             if name == ignore:
+                i -= 1
                 continue
-            if existing.overlaps(extent):
+            if end > extent.start:
                 return name
+            break
+        i = pos
+        size = len(index)
+        while i < size:  # nearest successor (start >= extent.start)
+            start, _, _, name = index[i]
+            if name == ignore:
+                i += 1
+                continue
+            if start < extent.end:
+                return name
+            break
         return None
+
+    def _index_add(self, name: Hashable, extent: Extent) -> None:
+        order = self._order_seq
+        self._order_seq += 1
+        self._order[name] = order
+        insort(self._index, (extent.start, order, extent.end, name))
+
+    def _index_remove(self, name: Hashable, extent: Extent) -> None:
+        key = (extent.start, self._order.pop(name))
+        del self._index[bisect_left(self._index, key)]
 
     def _track_end(self, end: int) -> None:
         self._end_counts[end] += 1
+        self._tracked_ends += 1
         heapq.heappush(self._end_heap, -end)
 
     def _untrack_end(self, end: int) -> None:
@@ -82,19 +142,32 @@ class AddressSpace:
             self._end_counts[end] = remaining
         else:
             del self._end_counts[end]
+        self._tracked_ends -= 1
+        heap = self._end_heap
+        if (
+            len(heap) > _HEAP_COMPACT_MIN
+            and len(heap) - self._tracked_ends > 2 * self._tracked_ends
+        ):
+            # Stale (lazily deleted) entries outnumber live ones 2:1 —
+            # rebuild from the distinct live end addresses.  One entry per
+            # distinct end suffices: footprint() only pops ends that are no
+            # longer in the counter.
+            self._end_heap = [-end for end in self._end_counts]
+            heapq.heapify(self._end_heap)
 
     # ------------------------------------------------------------ mutation
     def place(self, name: Hashable, extent: Extent) -> None:
         """Place a new object; raises if the name exists or addresses clash."""
         if name in self._extents:
             raise KeyError(f"object {name!r} is already placed")
-        if self.validate:
+        if self._validate:
             clash = self._find_overlap(extent)
             if clash is not None:
                 raise OverlapError(
                     f"placing {name!r} at {extent} overlaps {clash!r} at "
                     f"{self._extents[clash]}"
                 )
+            self._index_add(name, extent)
         self._extents[name] = extent
         self._volume += extent.length
         self._track_end(extent.end)
@@ -103,14 +176,16 @@ class AddressSpace:
         """Move an existing object to ``extent``; returns the old extent."""
         if name not in self._extents:
             raise KeyError(f"object {name!r} is not placed")
-        if self.validate:
+        old = self._extents[name]
+        if self._validate:
             clash = self._find_overlap(extent, ignore=name)
             if clash is not None:
                 raise OverlapError(
                     f"moving {name!r} to {extent} overlaps {clash!r} at "
                     f"{self._extents[clash]}"
                 )
-        old = self._extents[name]
+            self._index_remove(name, old)
+            self._index_add(name, extent)
         self._extents[name] = extent
         self._volume += extent.length - old.length
         self._untrack_end(old.end)
@@ -120,6 +195,8 @@ class AddressSpace:
     def remove(self, name: Hashable) -> Extent:
         """Remove an object and return the extent it used to occupy."""
         extent = self._extents.pop(name)
+        if self._validate:
+            self._index_remove(name, extent)
         self._volume -= extent.length
         self._untrack_end(extent.end)
         return extent
@@ -144,24 +221,39 @@ class AddressSpace:
             return 1.0
         return self._volume / footprint
 
+    def _ordered_spans(self) -> Iterator[Tuple[int, int, Hashable]]:
+        """Yield (start, end, name) in address order; sorts only if unindexed."""
+        if self._validate:
+            for start, _, end, name in self._index:
+                yield start, end, name
+        else:
+            for name, extent in sorted(
+                self._extents.items(), key=lambda item: item[1].start
+            ):
+                yield extent.start, extent.end, name
+
     def free_gaps(self) -> List[Extent]:
         """Return the maximal free extents below the footprint."""
         gaps: List[Extent] = []
         cursor = 0
-        for extent in sorted(self._extents.values(), key=lambda e: e.start):
-            if extent.start > cursor:
-                gaps.append(Extent(cursor, extent.start - cursor))
-            cursor = max(cursor, extent.end)
+        for start, end, _ in self._ordered_spans():
+            if start > cursor:
+                gaps.append(Extent(cursor, start - cursor))
+            if end > cursor:
+                cursor = end
         return gaps
 
     def verify_disjoint(self) -> None:
         """Exhaustively re-check that all live extents are pairwise disjoint."""
-        ordered = sorted(self._extents.items(), key=lambda item: item[1].start)
-        for (name_a, ext_a), (name_b, ext_b) in zip(ordered, ordered[1:]):
-            if ext_a.end > ext_b.start:
+        previous: Optional[Tuple[int, int, Hashable]] = None
+        for span in self._ordered_spans():
+            if previous is not None and previous[1] > span[0]:
+                name_a, name_b = previous[2], span[2]
                 raise OverlapError(
-                    f"{name_a!r} at {ext_a} overlaps {name_b!r} at {ext_b}"
+                    f"{name_a!r} at {self._extents[name_a]} overlaps "
+                    f"{name_b!r} at {self._extents[name_b]}"
                 )
+            previous = span
 
     def snapshot(self) -> Dict[Hashable, Extent]:
         """A copy of the current name -> extent mapping."""

@@ -1,0 +1,294 @@
+"""A two-way index over the free gaps of a linear address space.
+
+The classical free-list allocators (:mod:`repro.allocators.free_list`) keep
+the maximal free extents below the high-water mark and, per insert, pick one
+by policy: First Fit wants the lowest-addressed fitting gap, Best Fit the
+tightest, Worst Fit the widest.  A flat address-ordered list answers each of
+those with a full scan; :class:`GapIndex` answers all three in O(log n) by
+maintaining the same gap set in two orders at once:
+
+* an **address-ordered treap** whose nodes carry the maximum gap length in
+  their subtree (for leftmost-fitting descent — exact First Fit) and subtree
+  sizes (for rank queries, which Next Fit's roving pointer needs), and whose
+  key order gives the predecessor/successor probes that make coalescing a
+  pair of O(log n) lookups;
+* a **size-ordered bisect list** of ``(length, start)`` pairs, where the
+  Best Fit answer is the first entry at or above the request size and the
+  Worst Fit answer is the lowest-addressed entry of the maximum length.
+
+Every policy answer is *identical* to the one the linear scans produce —
+the index changes the cost of a query, never its result.  A running total
+of gap lengths makes ``free volume`` O(1).
+
+The treap's priorities come from a fixed-seed generator, so tree shapes —
+and therefore runtimes — are reproducible; results never depend on shape.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left, insort
+from typing import Iterator, List, Optional, Tuple
+
+from repro.storage.extent import Extent
+
+
+class _Node:
+    __slots__ = ("start", "length", "priority", "left", "right", "max_length", "count")
+
+    def __init__(self, start: int, length: int, priority: int) -> None:
+        self.start = start
+        self.length = length
+        self.priority = priority
+        self.left: Optional[_Node] = None
+        self.right: Optional[_Node] = None
+        self.max_length = length
+        self.count = 1
+
+
+def _pull(node: _Node) -> _Node:
+    """Recompute a node's subtree aggregates from its children."""
+    max_length = node.length
+    count = 1
+    left, right = node.left, node.right
+    if left is not None:
+        count += left.count
+        if left.max_length > max_length:
+            max_length = left.max_length
+    if right is not None:
+        count += right.count
+        if right.max_length > max_length:
+            max_length = right.max_length
+    node.max_length = max_length
+    node.count = count
+    return node
+
+
+def _insert(root: Optional[_Node], node: _Node) -> _Node:
+    if root is None:
+        return node
+    if node.priority > root.priority:
+        # Rotate ``node`` to the top: split ``root`` around node.start.
+        node.left, node.right = _split(root, node.start)
+        return _pull(node)
+    if node.start < root.start:
+        root.left = _insert(root.left, node)
+    else:
+        root.right = _insert(root.right, node)
+    return _pull(root)
+
+
+def _split(root: Optional[_Node], start: int) -> Tuple[Optional[_Node], Optional[_Node]]:
+    """Split into (< start, > start) subtrees; ``start`` itself must be absent."""
+    if root is None:
+        return None, None
+    if root.start < start:
+        left, right = _split(root.right, start)
+        root.right = left
+        return _pull(root), right
+    left, right = _split(root.left, start)
+    root.left = right
+    return left, _pull(root)
+
+
+def _merge(left: Optional[_Node], right: Optional[_Node]) -> Optional[_Node]:
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if left.priority > right.priority:
+        left.right = _merge(left.right, right)
+        return _pull(left)
+    right.left = _merge(left, right.left)
+    return _pull(right)
+
+
+def _delete(root: _Node, start: int) -> Optional[_Node]:
+    if root.start == start:
+        return _merge(root.left, root.right)
+    if start < root.start:
+        assert root.left is not None, f"no gap at {start}"
+        root.left = _delete(root.left, start)
+    else:
+        assert root.right is not None, f"no gap at {start}"
+        root.right = _delete(root.right, start)
+    return _pull(root)
+
+
+class GapIndex:
+    """Address- and size-indexed set of disjoint, non-adjacent free gaps."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._by_size: List[Tuple[int, int]] = []
+        self._total = 0
+        self._rng = random.Random(0x9A95)
+
+    # ------------------------------------------------------------- basics
+    def __len__(self) -> int:
+        return self._root.count if self._root is not None else 0
+
+    def __bool__(self) -> bool:
+        return self._root is not None
+
+    def __iter__(self) -> Iterator[Extent]:
+        """Yield the gaps as extents in address order."""
+        for start, length in self._walk(self._root):
+            yield Extent(start, length)
+
+    def _walk(self, node: Optional[_Node]) -> Iterator[Tuple[int, int]]:
+        stack: List[_Node] = []
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.start, node.length
+            node = node.right
+
+    @property
+    def total_free(self) -> int:
+        """Sum of all gap lengths (maintained as a running counter)."""
+        return self._total
+
+    def length_at(self, start: int) -> Optional[int]:
+        """Length of the gap starting exactly at ``start`` (None if absent)."""
+        node = self._root
+        while node is not None:
+            if start == node.start:
+                return node.length
+            node = node.left if start < node.start else node.right
+        return None
+
+    # ----------------------------------------------------------- mutation
+    def add(self, extent: Extent) -> None:
+        """Insert a gap; the caller guarantees disjointness from existing gaps."""
+        node = _Node(extent.start, extent.length, self._rng.getrandbits(62))
+        self._root = _insert(self._root, node)
+        insort(self._by_size, (extent.length, extent.start))
+        self._total += extent.length
+
+    def remove(self, start: int) -> Extent:
+        """Remove and return the gap starting at ``start``."""
+        length = self.length_at(start)
+        if length is None:
+            raise KeyError(f"no gap starts at address {start}")
+        self._remove_known(start, length)
+        return Extent(start, length)
+
+    def _remove_known(self, start: int, length: int) -> None:
+        self._root = _delete(self._root, start)
+        del self._by_size[bisect_left(self._by_size, (length, start))]
+        self._total -= length
+
+    def take(self, start: int, size: int) -> None:
+        """Allocate ``size`` units from the front of the gap at ``start``."""
+        length = self.length_at(start)
+        if length is None:
+            raise KeyError(f"no gap starts at address {start}")
+        if length < size:
+            # Raise before mutating: a failed insert must leave the free
+            # list intact so the request can be retried.
+            raise ValueError(
+                f"gap {Extent(start, length)} is smaller than the request ({size})"
+            )
+        self._remove_known(start, length)
+        if length > size:
+            self.add(Extent(start + size, length - size))
+
+    def absorb_adjacent(self, extent: Extent) -> Extent:
+        """Remove gaps adjacent to ``extent`` and return the merged extent.
+
+        The merged extent is *not* inserted: the caller decides whether it
+        becomes a gap or shrinks the high-water mark.
+        """
+        start, end = extent.start, extent.end
+        predecessor = self._neighbor(extent.start, before=True)
+        if predecessor is not None and predecessor.end == start:
+            self._remove_known(predecessor.start, predecessor.length)
+            start = predecessor.start
+        successor = self._neighbor(extent.start, before=False)
+        if successor is not None and successor.start == end:
+            self._remove_known(successor.start, successor.length)
+            end = successor.end
+        return Extent(start, end - start)
+
+    def _neighbor(self, start: int, before: bool) -> Optional[Extent]:
+        """Nearest gap strictly before/after ``start`` in address order."""
+        node = self._root
+        found: Optional[_Node] = None
+        while node is not None:
+            if (node.start < start) if before else (node.start > start):
+                found = node
+                node = node.right if before else node.left
+            else:
+                node = node.left if before else node.right
+        return Extent(found.start, found.length) if found is not None else None
+
+    # ------------------------------------------------------ policy queries
+    def first_fit(self, size: int) -> Optional[int]:
+        """Start of the lowest-addressed gap with length >= ``size``."""
+        node = self._root
+        if node is None or node.max_length < size:
+            return None
+        while True:
+            if node.left is not None and node.left.max_length >= size:
+                node = node.left
+            elif node.length >= size:
+                return node.start
+            else:
+                node = node.right  # guaranteed by the subtree max
+
+    def best_fit(self, size: int) -> Optional[int]:
+        """Start of the tightest fitting gap (address-lowest on ties)."""
+        pos = bisect_left(self._by_size, (size,))
+        if pos == len(self._by_size):
+            return None
+        return self._by_size[pos][1]
+
+    def worst_fit(self, size: int) -> Optional[int]:
+        """Start of the widest gap (address-lowest on ties), if it fits."""
+        if not self._by_size or self._by_size[-1][0] < size:
+            return None
+        widest = self._by_size[-1][0]
+        return self._by_size[bisect_left(self._by_size, (widest,))][1]
+
+    def scan(self, rank: int) -> Iterator[Tuple[int, int, int]]:
+        """Yield every ``(rank, start, length)`` once, cyclically from ``rank``.
+
+        This is Next Fit's probe order: the address-ordered gap list read
+        from position ``rank`` with wrap-around.
+        """
+        total = len(self)
+        if total == 0:
+            return
+        rank = min(rank, total - 1)
+        for offset, (start, length) in enumerate(self._walk_from(rank)):
+            yield rank + offset, start, length
+        for position, (start, length) in enumerate(self._walk(self._root)):
+            if position >= rank:
+                return
+            yield position, start, length
+
+    def _walk_from(self, rank: int) -> Iterator[Tuple[int, int]]:
+        """In-order walk starting at the node of the given rank."""
+        stack: List[_Node] = []
+        node = self._root
+        while node is not None:
+            left_count = node.left.count if node.left is not None else 0
+            if rank < left_count:
+                stack.append(node)
+                node = node.left
+            elif rank == left_count:
+                stack.append(node)
+                break
+            else:
+                rank -= left_count + 1
+                node = node.right
+        while stack:
+            node = stack.pop()
+            yield node.start, node.length
+            child = node.right
+            while child is not None:
+                stack.append(child)
+                child = child.left

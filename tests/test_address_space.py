@@ -85,6 +85,42 @@ def test_snapshot_is_a_copy():
     assert space.extent_of("a") == Extent(0, 5)
 
 
+def test_end_heap_is_compacted_on_delete_heavy_churn():
+    """A long insert/delete churn trace must not grow the lazy footprint
+    heap without bound: stale entries are compacted away once they exceed
+    2x the live ones, so the heap stays proportional to the live set."""
+    space = AddressSpace()
+    for round_number in range(5000):
+        # Two live objects at a time, with ever-changing end addresses so
+        # every round pushes fresh heap entries and strands the old ones.
+        space.place("a", Extent(round_number, 1))
+        space.place("b", Extent(round_number + 5, 1))
+        assert space.footprint() == round_number + 6
+        space.remove("a")
+        space.remove("b")
+    assert space.footprint() == 0
+    assert len(space._end_heap) <= 128  # bounded, not the 10k pushes made
+    # The compacted heap keeps answering correctly as objects come back.
+    space.place("c", Extent(7, 3))
+    assert space.footprint() == 10
+
+
+def test_end_heap_compaction_preserves_duplicate_end_counts():
+    """Several live extents sharing one end address survive compaction:
+    the end stays in the heap until the last of them is removed."""
+    space = AddressSpace(validate=False)
+    for index in range(3):
+        space.place(("dup", index), Extent(90, 10))  # all end at 100
+    # Churn enough distinct ends to trigger at least one compaction.
+    for round_number in range(200):
+        space.place("tmp", Extent(200 + round_number, 5))
+        space.remove("tmp")
+    for index in range(3):
+        assert space.footprint() == 100
+        space.remove(("dup", index))
+    assert space.footprint() == 0
+
+
 # ------------------------------------------------------------ property tests
 def _naive_footprint(extents):
     return max((extent.end for extent in extents.values()), default=0)

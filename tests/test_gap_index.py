@@ -1,0 +1,316 @@
+"""Property tests: the indexed substrate agrees with the seed linear scans.
+
+Two oracles, both re-implementations of the pre-index code:
+
+* ``_ScanFreeList`` — the flat address-ordered ``List[Extent]`` free list
+  with the original O(n) gap-selection scans, used to check that every
+  :class:`GapIndex`-backed policy picks the *same gap on every request*;
+* a naive all-pairs overlap scan, used to check that the address-ordered
+  index inside :class:`AddressSpace` detects exactly the same clashes.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.allocators import (
+    BestFitAllocator,
+    FirstFitAllocator,
+    NextFitAllocator,
+    WorstFitAllocator,
+)
+from repro.storage.address_space import AddressSpace, OverlapError
+from repro.storage.extent import Extent
+from repro.storage.gap_index import GapIndex
+
+
+# --------------------------------------------------------------- seed oracle
+class _ScanFreeList:
+    """The pre-index free list: flat sorted list + linear-scan policies."""
+
+    def __init__(self, policy):
+        self.policy = policy
+        self.free = []  # sorted by start address
+        self.high_water = 0
+        self.rover = 0
+
+    def _choose_gap(self, size):
+        free = self.free
+        if self.policy == "first":
+            for index, gap in enumerate(free):
+                if gap.length >= size:
+                    return index
+            return None
+        if self.policy == "best":
+            best = None
+            best_length = None
+            for index, gap in enumerate(free):
+                if gap.length >= size and (best_length is None or gap.length < best_length):
+                    best = index
+                    best_length = gap.length
+            return best
+        if self.policy == "worst":
+            worst = None
+            worst_length = -1
+            for index, gap in enumerate(free):
+                if gap.length >= size and gap.length > worst_length:
+                    worst = index
+                    worst_length = gap.length
+            return worst
+        count = len(free)  # next fit
+        if count == 0:
+            return None
+        start = min(self.rover, count - 1)
+        for offset in range(count):
+            index = (start + offset) % count
+            if free[index].length >= size:
+                self.rover = index
+                return index
+        return None
+
+    def insert(self, size):
+        index = self._choose_gap(size)
+        if index is None:
+            address = self.high_water
+            self.high_water += size
+        else:
+            gap = self.free[index]
+            address = gap.start
+            if gap.length == size:
+                del self.free[index]
+            else:
+                self.free[index] = Extent(gap.start + size, gap.length - size)
+        return address
+
+    def release(self, extent):
+        lo, hi = 0, len(self.free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.free[mid].start < extent.start:
+                lo = mid + 1
+            else:
+                hi = mid
+        start, end = extent.start, extent.end
+        if lo > 0 and self.free[lo - 1].end == start:
+            start = self.free[lo - 1].start
+            del self.free[lo - 1]
+            lo -= 1
+        if lo < len(self.free) and self.free[lo].start == end:
+            end = self.free[lo].end
+            del self.free[lo]
+        if end == self.high_water:
+            self.high_water = start
+        else:
+            self.free.insert(lo, Extent(start, end - start))
+
+
+POLICIES = {
+    "first": FirstFitAllocator,
+    "best": BestFitAllocator,
+    "worst": WorstFitAllocator,
+    "next": NextFitAllocator,
+}
+
+#: A churn script: positive = insert of that size, negative = delete the
+#: live object at position (-value - 1) mod len(live).
+churn_scripts = st.lists(
+    st.integers(min_value=-64, max_value=48).filter(lambda v: v != 0),
+    min_size=1,
+    max_size=300,
+)
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(script=churn_scripts)
+def test_indexed_policies_agree_with_seed_scans(policy, script):
+    allocator = POLICIES[policy]()
+    oracle = _ScanFreeList(policy)
+    live = []
+    next_id = 0
+    for step, action in enumerate(script):
+        if action > 0 or not live:
+            size = abs(action)
+            next_id += 1
+            allocator.insert(next_id, size)
+            expected = oracle.insert(size)
+            assert allocator.address_of(next_id) == expected, (
+                f"step {step}: {policy} fit chose {allocator.address_of(next_id)}, "
+                f"seed scan chose {expected}"
+            )
+            live.append((next_id, size, expected))
+        else:
+            name, size, address = live.pop((-action - 1) % len(live))
+            allocator.delete(name)
+            oracle.release(Extent(address, size))
+        assert allocator.free_extents() == oracle.free
+        assert allocator.high_water == oracle.high_water
+        assert allocator.free_volume() == sum(gap.length for gap in oracle.free)
+    allocator.space.verify_disjoint()
+
+
+# ---------------------------------------------------- overlap-audit oracle
+def _naive_overlap(extents, candidate, ignore=None):
+    for name, existing in extents.items():
+        if name == ignore:
+            continue
+        if existing.overlaps(candidate):
+            return name
+    return None
+
+
+#: An audit script: (op selector, address, length) triples.
+audit_scripts = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=120),
+        st.integers(min_value=1, max_value=24),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(script=audit_scripts)
+def test_indexed_overlap_detection_agrees_with_all_pairs_scan(script):
+    space = AddressSpace(validate=True)
+    mirror = {}
+    next_id = 0
+    for op, address, length in script:
+        extent = Extent(address, length)
+        if op < 5 or not mirror:  # place
+            next_id += 1
+            name = f"obj-{next_id}"
+            if _naive_overlap(mirror, extent) is None:
+                space.place(name, extent)
+                mirror[name] = extent
+            else:
+                with pytest.raises(OverlapError):
+                    space.place(name, extent)
+                assert name not in space
+        elif op < 8:  # move an existing object
+            name = sorted(mirror)[address % len(mirror)]
+            if _naive_overlap(mirror, extent, ignore=name) is None:
+                space.move(name, extent)
+                mirror[name] = extent
+            else:
+                with pytest.raises(OverlapError):
+                    space.move(name, extent)
+                assert space.extent_of(name) == mirror[name]
+        else:  # remove
+            name = sorted(mirror)[address % len(mirror)]
+            assert space.remove(name) == mirror.pop(name)
+        assert space.free_gaps() == _naive_gaps(mirror)
+        assert space.volume() == sum(e.length for e in mirror.values())
+    space.verify_disjoint()
+
+
+def _naive_gaps(extents):
+    gaps = []
+    cursor = 0
+    for extent in sorted(extents.values(), key=lambda e: e.start):
+        if extent.start > cursor:
+            gaps.append(Extent(cursor, extent.start - cursor))
+        cursor = max(cursor, extent.end)
+    return gaps
+
+
+# ------------------------------------------------------- GapIndex unit tests
+def test_gap_index_policy_queries():
+    gaps = GapIndex()
+    for start, length in [(0, 4), (10, 8), (30, 8), (50, 2)]:
+        gaps.add(Extent(start, length))
+    assert len(gaps) == 4
+    assert gaps.total_free == 22
+    assert gaps.first_fit(5) == 10
+    assert gaps.first_fit(2) == 0
+    assert gaps.first_fit(9) is None
+    assert gaps.best_fit(2) == 50
+    assert gaps.best_fit(5) == 10  # ties on length 8 break to the lower address
+    assert gaps.worst_fit(1) == 10
+    assert gaps.worst_fit(9) is None
+    assert list(gaps) == [Extent(0, 4), Extent(10, 8), Extent(30, 8), Extent(50, 2)]
+
+
+def test_gap_index_take_and_remove():
+    gaps = GapIndex()
+    gaps.add(Extent(10, 8))
+    gaps.take(10, 3)
+    assert list(gaps) == [Extent(13, 5)]
+    assert gaps.total_free == 5
+    gaps.take(13, 5)  # exact fit removes the gap outright
+    assert len(gaps) == 0 and gaps.total_free == 0
+    gaps.add(Extent(4, 2))
+    with pytest.raises(ValueError):
+        gaps.take(4, 3)
+    # The failed take must not have touched the free list (retry contract).
+    assert list(gaps) == [Extent(4, 2)] and gaps.total_free == 2
+    with pytest.raises(KeyError):
+        gaps.remove(99)
+    with pytest.raises(KeyError):
+        gaps.take(99, 1)
+
+
+def test_gap_index_absorb_adjacent_merges_both_sides():
+    gaps = GapIndex()
+    gaps.add(Extent(0, 5))
+    gaps.add(Extent(8, 2))
+    merged = gaps.absorb_adjacent(Extent(5, 3))
+    assert merged == Extent(0, 10)
+    assert len(gaps) == 0  # both neighbours were consumed, nothing re-added
+    gaps.add(merged)
+    # Non-adjacent release touches nothing.
+    assert gaps.absorb_adjacent(Extent(20, 4)) == Extent(20, 4)
+    assert list(gaps) == [Extent(0, 10)]
+
+
+def test_failed_insert_restores_the_free_list_and_high_water():
+    """If placement raises mid-insert (e.g. an observer blows up), the free
+    list and high-water mark must roll back with the address space so the
+    request can be retried — on both the gap-reuse and the extend path."""
+
+    class _Bomb:
+        armed = False
+
+        def on_request(self, record):
+            pass
+
+        def on_move(self, move):
+            if self.armed:
+                raise RuntimeError("boom")
+
+        def on_flush(self, record):
+            pass
+
+        def on_checkpoint(self, count):
+            pass
+
+    bomb = _Bomb()
+    allocator = FirstFitAllocator(trace=True)
+    allocator.attach_observer(bomb)
+    allocator.insert("a", 4)
+    allocator.insert("b", 4)
+    allocator.delete("a")  # gap [0, 4)
+    for size in (3, 10):  # 3 reuses the gap, 10 extends the high-water mark
+        gaps_before = allocator.free_extents()
+        high_water_before = allocator.high_water
+        bomb.armed = True
+        with pytest.raises(RuntimeError):
+            allocator.insert("c", size)
+        bomb.armed = False
+        assert allocator.free_extents() == gaps_before
+        assert allocator.high_water == high_water_before
+        assert "c" not in allocator
+    allocator.insert("c", 3)  # the retry lands exactly where the scan would
+    assert allocator.address_of("c") == 0
+    allocator.space.verify_disjoint()
+
+
+def test_gap_index_scan_wraps_in_address_order():
+    gaps = GapIndex()
+    for start in (0, 10, 20, 30):
+        gaps.add(Extent(start, 2))
+    assert [(r, s) for r, s, _ in gaps.scan(2)] == [(2, 20), (3, 30), (0, 0), (1, 10)]
+    # A rover past the end clamps to the last gap, like the seed scan.
+    assert [s for _, s, _ in gaps.scan(99)] == [30, 0, 10, 20]
+    assert list(GapIndex().scan(0)) == []
