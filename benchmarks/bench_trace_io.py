@@ -21,6 +21,7 @@ import tracemalloc
 import pytest
 
 from repro.allocators import FirstFitAllocator
+from repro.campaign import analytics_result, analyze_trace
 from repro.engine import SimulationEngine
 from repro.workloads import (
     TraceFileSource,
@@ -85,6 +86,37 @@ def test_stream_throughput(benchmark, trace_files, tag):
         return sum(1 for _ in iter_trace(path))
 
     assert benchmark.pedantic(scan, rounds=1, iterations=1) == REQUESTS
+
+
+def test_streaming_analytics_matches_materialised_within_memory_budget(trace_files):
+    """The `repro trace analyze` guard: streaming analytics over a
+    TraceFileSource must render byte-identical tables to the materialised
+    load-then-analyze path at a small fraction of its peak memory."""
+    path = trace_files["paths"]["v2"]
+
+    tracemalloc.start()
+    materialised = analyze_trace(load_trace(path))
+    _, materialised_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    tracemalloc.start()
+    streamed = analyze_trace(TraceFileSource(path))
+    _, streaming_peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    print(
+        f"\npeak memory analyzing {REQUESTS} requests: "
+        f"materialised={materialised_peak // 1024} KiB, "
+        f"streaming={streaming_peak // 1024} KiB "
+        f"({streaming_peak / materialised_peak:.1%})"
+    )
+    assert streamed == materialised
+    assert analytics_result(streamed).to_text() == analytics_result(materialised).to_text()
+    assert streaming_peak <= materialised_peak * 0.2, (
+        f"streaming analytics peaked at {streaming_peak} bytes vs {materialised_peak} "
+        "for the materialised path; the analyzer is buffering per-request state "
+        "somewhere"
+    )
 
 
 def test_streaming_replay_never_materialises_the_trace(trace_files):

@@ -45,9 +45,13 @@ from repro.costs import (
 )
 from repro.engine import (
     FootprintSeriesObserver,
+    GapHistogramObserver,
     HistoryObserver,
     Observer,
+    PerClassOccupancyObserver,
     SimulationEngine,
+    TraceAnalyticsObserver,
+    TraceRecorderObserver,
 )
 from repro.metrics import run_trace
 from repro.workloads import (
@@ -84,9 +88,13 @@ __all__ = [
     "MainMemoryCost",
     "STANDARD_COST_SUITE",
     "FootprintSeriesObserver",
+    "GapHistogramObserver",
     "HistoryObserver",
     "Observer",
+    "PerClassOccupancyObserver",
     "SimulationEngine",
+    "TraceAnalyticsObserver",
+    "TraceRecorderObserver",
     "run_trace",
     "Request",
     "RequestSource",

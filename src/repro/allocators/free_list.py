@@ -83,7 +83,7 @@ class FreeListAllocator(Allocator):
 
     def free_extents(self) -> List[Extent]:
         """The current gaps below the high-water mark, in address order."""
-        return list(self._gaps)
+        return self._gaps.free_extents()
 
     def free_volume(self) -> int:
         """Total free space below the high-water mark (O(1) running counter)."""
@@ -125,8 +125,10 @@ class NextFitAllocator(FreeListAllocator):
     """First Fit with a roving pointer that resumes where the last search ended.
 
     The rover is a *position* in the address-ordered gap list (exactly the
-    index the flat-list implementation kept), so the probe order — and every
-    placement — matches it request for request.
+    index the flat-list implementation kept), so every placement matches
+    the seed scan request for request — but the probe itself is a
+    rank-bounded :meth:`GapIndex.next_fit` query (O(log n), with one extra
+    descent on wrap-around) instead of a linear walk of the gap list.
     """
 
     name = "next-fit"
@@ -136,11 +138,11 @@ class NextFitAllocator(FreeListAllocator):
         self._rover = 0
 
     def _select_gap(self, size: int) -> Optional[int]:
-        for rank, start, length in self._gaps.scan(self._rover):
-            if length >= size:
-                self._rover = rank
-                return start
-        return None
+        found = self._gaps.next_fit(size, self._rover)
+        if found is None:
+            return None
+        self._rover, start = found
+        return start
 
 
 class AppendOnlyAllocator(FreeListAllocator):

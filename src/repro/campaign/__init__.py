@@ -13,7 +13,13 @@ Entry points: ``repro sweep <spec.json> [--jobs N] [--out DIR]`` and
 ``repro trace analyze <path>``.
 """
 
-from repro.campaign.analyze import TraceAnalytics, analytics_result, analyze_trace
+from repro.campaign.analyze import (
+    TraceAnalytics,
+    TraceAnalyticsObserver,
+    analytics_result,
+    analyze_trace,
+)
+from repro.campaign.report import document_table, sweep_report
 from repro.campaign.artifacts import (
     campaign_table,
     campaign_to_dict,
@@ -47,8 +53,11 @@ __all__ = [
     "ProgressReporter",
     "SpecError",
     "TraceAnalytics",
+    "TraceAnalyticsObserver",
     "analytics_result",
     "analyze_trace",
+    "document_table",
+    "sweep_report",
     "build_allocator",
     "build_cost",
     "build_device",

@@ -2,10 +2,15 @@
 
 WiscSee-style pipelines first characterise the collected trace (sizes,
 lifetimes, death times, footprint) and only then sweep configurations; this
-module is that characterisation step for any :class:`~repro.workloads.base.Trace`
-— synthetic, adversarial, or loaded from a recorded trace file.
+module is that characterisation step for any request stream — a synthetic or
+adversarial :class:`~repro.workloads.base.Trace`, or a streaming
+:class:`~repro.workloads.replay.TraceFileSource` over an on-disk file that
+is never materialised.
 
-All statistics are derived purely from the request stream:
+All statistics are derived purely from the request stream in **one pass**
+(the heavy lifting lives in
+:class:`~repro.engine.analytics.TraceAnalyticsObserver`, which also rides
+along on live engine runs):
 
 * **footprint profile** — live volume over time (peak / mean / final), the
   denominator of every competitive ratio in the paper;
@@ -19,131 +24,27 @@ All statistics are derived purely from the request stream:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
-
+from repro.engine.analytics import (  # noqa: F401 - re-exported for compatibility
+    TraceAnalytics,
+    TraceAnalyticsObserver,
+    analyze_source,
+    percentile,
+    size_histogram,
+)
 from repro.harness.results import ExperimentResult
-from repro.workloads.base import Trace
 
 
-def percentile(sorted_values: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of an already-sorted sequence (0 if empty)."""
-    if not sorted_values:
-        return 0.0
-    index = min(len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1))))
-    return sorted_values[index]
+def analyze_trace(trace, death_buckets: int = 10) -> TraceAnalytics:
+    """Compute the full analytics bundle for ``trace`` in one streaming pass.
 
-
-def size_histogram(sizes: Sequence[int]) -> List[Dict[str, int]]:
-    """Counts and volume per power-of-two size bucket ``[2^k, 2^(k+1))``."""
-    buckets: Dict[int, Dict[str, int]] = {}
-    for size in sizes:
-        exponent = max(0, size.bit_length() - 1)
-        bucket = buckets.setdefault(
-            exponent, {"low": 1 << exponent, "high": (1 << (exponent + 1)) - 1, "count": 0, "volume": 0}
-        )
-        bucket["count"] += 1
-        bucket["volume"] += size
-    return [buckets[exponent] for exponent in sorted(buckets)]
-
-
-@dataclass
-class TraceAnalytics:
-    """Every statistic :func:`analyze_trace` computes for one trace."""
-
-    label: str
-    requests: int
-    inserts: int
-    deletes: int
-    distinct_objects: int
-    delta: int
-    inserted_volume: int
-    peak_volume: int
-    mean_volume: float
-    final_volume: int
-    turnover: float
-    sizes: Dict[str, float]
-    lifetimes: Dict[str, float]
-    immortal_objects: int
-    immortal_volume: int
-    histogram: List[Dict[str, int]] = field(default_factory=list)
-    death_groups: List[Dict[str, float]] = field(default_factory=list)
-
-    def to_dict(self) -> Dict[str, object]:
-        return dict(self.__dict__)
-
-
-def analyze_trace(trace: Trace, death_buckets: int = 10) -> TraceAnalytics:
-    """Compute the full analytics bundle for ``trace``."""
-    births: Dict[object, int] = {}
-    birth_sizes: Dict[object, int] = {}
-    lifetimes: List[int] = []
-    deaths: List[Dict[str, float]] = [
-        {"bucket": index, "objects": 0, "volume": 0} for index in range(death_buckets)
-    ]
-    total = max(1, len(trace))
-    volume = 0
-    volume_sum = 0.0
-    peak = 0
-    sizes: List[int] = []
-    seen_names = set()
-
-    for index, request in enumerate(trace):
-        if request.is_insert:
-            seen_names.add(request.name)
-            births[request.name] = index
-            birth_sizes[request.name] = request.size
-            sizes.append(request.size)
-            volume += request.size
-        else:
-            born = births.pop(request.name)
-            size = birth_sizes.pop(request.name)
-            lifetimes.append(index - born)
-            bucket = min(death_buckets - 1, (index * death_buckets) // total)
-            deaths[bucket]["objects"] += 1
-            deaths[bucket]["volume"] += size
-            volume -= size
-        peak = max(peak, volume)
-        volume_sum += volume
-
-    immortal_volume = sum(birth_sizes.values())
-    censored = [len(trace) - born for born in births.values()]
-    all_lifetimes = sorted(lifetimes + censored)
-    sorted_sizes = sorted(sizes)
-    inserted_volume = sum(sizes)
-
-    for bucket in deaths:
-        bucket["volume_fraction"] = round(bucket["volume"] / max(1, inserted_volume), 4)
-
-    return TraceAnalytics(
-        label=trace.label,
-        requests=len(trace),
-        inserts=len(sizes),
-        deletes=len(lifetimes),
-        distinct_objects=len(seen_names),
-        delta=max(sorted_sizes, default=0),
-        inserted_volume=inserted_volume,
-        peak_volume=peak,
-        mean_volume=round(volume_sum / total, 2),
-        final_volume=volume,
-        turnover=round(inserted_volume / max(1, peak), 3),
-        sizes={
-            "p50": percentile(sorted_sizes, 0.50),
-            "p90": percentile(sorted_sizes, 0.90),
-            "p99": percentile(sorted_sizes, 0.99),
-            "max": float(sorted_sizes[-1]) if sorted_sizes else 0.0,
-        },
-        lifetimes={
-            "p50": percentile(all_lifetimes, 0.50),
-            "p90": percentile(all_lifetimes, 0.90),
-            "p99": percentile(all_lifetimes, 0.99),
-            "max": float(all_lifetimes[-1]) if all_lifetimes else 0.0,
-        },
-        immortal_objects=len(births),
-        immortal_volume=immortal_volume,
-        histogram=size_histogram(sizes),
-        death_groups=deaths,
-    )
+    ``trace`` may be a materialised :class:`~repro.workloads.base.Trace`, a
+    streaming :class:`~repro.workloads.replay.TraceFileSource`, or any
+    iterable of requests; the statistics are identical either way, and a
+    streaming source is consumed one request at a time (peak memory is
+    bounded by the live-object set and the distinct statistic values, never
+    the request count).
+    """
+    return analyze_source(trace, death_buckets=death_buckets)
 
 
 def analytics_result(analytics: TraceAnalytics) -> ExperimentResult:

@@ -44,6 +44,9 @@ CSV_COLUMNS = (
     "moves_per_insert",
     "max_request_moved_volume",
     "footprint_series",
+    "gap_histogram",
+    "per_class_occupancy",
+    "trace_recorder",
     "device_elapsed_ms",
     "elapsed_seconds",
     "error",
@@ -105,6 +108,27 @@ def _csv_row(record: Dict[str, Any]) -> List[Any]:
                 row.append(" ".join(str(v) for v in series.get("footprint", ())))
             else:
                 row.append("")
+        elif column == "gap_histogram":
+            series = record.get("gap_histogram")
+            if isinstance(series, dict):
+                row.append(" ".join(str(v) for v in series.get("free_volume", ())))
+            else:
+                row.append("")
+        elif column == "per_class_occupancy":
+            series = record.get("per_class_occupancy")
+            if isinstance(series, dict) and series.get("volume"):
+                # The final sample, one "low-high:volume" token per class.
+                row.append(
+                    " ".join(
+                        f"{low}-{high}:{value}"
+                        for (low, high), value in zip(series["classes"], series["volume"][-1])
+                    )
+                )
+            else:
+                row.append("")
+        elif column == "trace_recorder":
+            info = record.get("trace_recorder")
+            row.append(info.get("path", "") if isinstance(info, dict) else "")
         else:
             row.append(record.get(column, ""))
     return row

@@ -35,6 +35,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.campaign.spec import (
     CampaignCell,
     CampaignSpec,
+    SpecError,
     build_allocator,
     build_cost,
     build_device,
@@ -102,6 +103,13 @@ def _execute(payload: Dict[str, Any]) -> Dict[str, Any]:
     cost = build_cost(payload["cost"])
     device = build_device(payload["device"])
     spec_observers = [build_observer(entry) for entry in payload.get("observers", [])]
+    for observer in spec_observers:
+        # Cell-aware observers (e.g. trace_recorder's "{cell}" path
+        # placeholder) learn which cell they instrument; parallel cells
+        # must never share an output path.
+        bind = getattr(observer, "bind_cell", None)
+        if callable(bind):
+            bind(index=payload["index"], cell_id=payload["cell_id"])
 
     observers: List[Observer] = list(spec_observers)
     if device is not None:
@@ -167,6 +175,21 @@ def run_campaign(
     simply re-runs.
     """
     cells = spec.expand()
+    if len(cells) > 1:
+        # A recorder path without the {cell} placeholder would be opened
+        # (and truncated) by every cell: serially each cell destroys the
+        # previous recording, in parallel the interleaved writes corrupt
+        # the file — while every record still claims its own recording.
+        for entry in spec.observers:
+            if entry.get("kind") == "trace_recorder" and "{cell}" not in str(
+                entry.get("path", "")
+            ):
+                raise SpecError(
+                    f"trace_recorder path {entry.get('path')!r} is shared by "
+                    f"{len(cells)} cells; add a '{{cell}}' placeholder (replaced "
+                    "by the cell index) so cells do not clobber one another's "
+                    "recording"
+                )
     payloads: List[Dict[str, Any]] = []
     reused: List[Dict[str, Any]] = []
     for cell in cells:

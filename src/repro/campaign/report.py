@@ -1,0 +1,143 @@
+"""Render recorded campaign artifacts as terminal tables and charts.
+
+``repro sweep report <dir>`` loads the ``results.json`` a previous sweep
+wrote and turns it back into the terminal view of the run — the per-cell
+summary table plus, for every cell that carried series observers, terminal
+charts: the footprint/volume series (``footprint_series``), the
+power-of-two gap-size occupancy over time (``gap_histogram``), and the
+per-size-class live volume (``per_class_occupancy``).  Nothing re-runs:
+this is a pure view over the artifact, so it works on results produced on
+another machine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.campaign.spec import entry_tag
+from repro.harness.results import ExperimentResult
+from repro.metrics.report import render_bucket_series, render_series
+
+
+def document_table(document: Dict[str, Any]) -> ExperimentResult:
+    """The per-cell summary table of a loaded ``results.json`` document."""
+    records = document.get("records", [])
+    errors = sum(1 for record in records if record.get("status") != "ok")
+    table = ExperimentResult(
+        experiment_id="SWEEP",
+        title=(
+            f"Campaign {document.get('campaign', '?')!r}: {len(records)} cells, "
+            f"{errors} errors, jobs={document.get('jobs', '?')}, "
+            f"{float(document.get('elapsed_seconds', 0.0)):.2f}s (recorded)"
+        ),
+        headers=[
+            "workload",
+            "allocator",
+            "cost",
+            "device",
+            "status",
+            "max footprint/V",
+            "cost ratio",
+            "moved volume",
+        ],
+    )
+    for record in records:
+        axes = [
+            entry_tag(record["workload"]),
+            entry_tag(record["allocator"]),
+            entry_tag(record["cost"]),
+            entry_tag(record["device"]),
+        ]
+        if record.get("status") == "ok":
+            table.rows.append(
+                axes
+                + [
+                    "ok",
+                    round(record["max_footprint_ratio"], 3),
+                    round(record["cost_ratio"], 2),
+                    record["total_moved_volume"],
+                ]
+            )
+        else:
+            error = record.get("error", "").strip().splitlines()
+            table.rows.append(axes + ["ERROR", "-", "-", error[-1][:60] if error else "?"])
+    return table
+
+
+def _cell_charts(record: Dict[str, Any], width: int, height: int) -> List[str]:
+    parts: List[str] = []
+    series = record.get("footprint_series")
+    if isinstance(series, dict) and series.get("footprint"):
+        parts.append(
+            render_series(
+                series["footprint"],
+                width=width,
+                height=height,
+                label=f"footprint over {series.get('requests_seen', '?')} requests",
+            )
+        )
+        parts.append(
+            render_series(
+                series["volume"],
+                width=width,
+                height=height,
+                label="live volume (same sample points)",
+            )
+        )
+    histogram = record.get("gap_histogram")
+    if isinstance(histogram, dict) and histogram.get("counts"):
+        buckets = histogram.get("buckets", [])
+        rows = [
+            [sample[index] for sample in histogram["counts"]]
+            for index in range(len(buckets))
+        ]
+        parts.append(
+            render_bucket_series(
+                [f"[{low}, {high}]" for low, high in buckets],
+                rows,
+                width=width,
+                title="free gaps per power-of-two length bucket over time",
+            )
+        )
+    occupancy = record.get("per_class_occupancy")
+    if isinstance(occupancy, dict) and occupancy.get("volume"):
+        classes = occupancy.get("classes", [])
+        rows = [
+            [sample[index] for sample in occupancy["volume"]]
+            for index in range(len(classes))
+        ]
+        parts.append(
+            render_bucket_series(
+                [f"[{low}, {high}]" for low, high in classes],
+                rows,
+                width=width,
+                title="live volume per power-of-two size class over time",
+            )
+        )
+    return parts
+
+
+def sweep_report(
+    document: Dict[str, Any],
+    cell_filter: Optional[str] = None,
+    width: int = 60,
+    height: int = 10,
+) -> str:
+    """The full terminal report for a loaded ``results.json`` document.
+
+    ``cell_filter`` (substring match on ``cell_id``) limits which cells are
+    charted; the summary table always covers every record.
+    """
+    parts = [document_table(document).to_text()]
+    for record in document.get("records", []):
+        if record.get("status") != "ok":
+            continue
+        if cell_filter and cell_filter not in record.get("cell_id", ""):
+            continue
+        charts = _cell_charts(record, width=width, height=height)
+        if not charts:
+            continue
+        parts.append("")
+        parts.append(f"--- {record.get('cell_id', '?')} ---")
+        parts.extend(charts)
+    return "\n".join(parts)

@@ -24,10 +24,16 @@ therefore JSON-serialisable)::
 String entries are shorthand for ``{"kind": <string>}``.  ``costs`` defaults
 to ``["linear"]`` and ``devices`` to ``["ram"]`` so a minimal spec only names
 workloads and allocators.  An optional top-level ``"observers"`` list (e.g.
-``["footprint_series"]`` or ``[{"kind": "footprint_series", "max_points":
-256}]``) attaches engine observers to every cell; their exported results
-(for ``footprint_series``: a bounded, downsampled footprint/volume series)
-are added to each cell record in ``results.json``.  Observers instrument a
+``["footprint_series"]`` or ``[{"kind": "gap_histogram", "max_points":
+64}]``) attaches engine observers to every cell; their exported results are
+added to each cell record in ``results.json``.  The registered kinds (see
+``repro.engine.OBSERVER_KINDS``) are ``footprint_series`` (bounded
+footprint/volume series), ``gap_histogram`` (power-of-two gap-size
+occupancy over time), ``per_class_occupancy`` (live count/volume per size
+class), ``trace_analytics`` (the full streaming trace characterisation),
+and ``trace_recorder`` (stream the cell's requests to a trace file;
+``"{cell}"`` in its path is replaced by the cell index so parallel cells
+never clobber one another).  Observers instrument a
 cell without changing its identity, so they are not part of ``cell_id``.  :meth:`CampaignSpec.expand` turns the spec into
 one :class:`CampaignCell` per point of the cross product; each cell carries a
 deterministic seed derived from the campaign seed and the workload axis (so

@@ -15,9 +15,14 @@ Sweep a campaign matrix over four worker processes::
 
     python -m repro sweep campaign.json --jobs 4 --out results/demo
 
-Characterise a recorded trace before sweeping it::
+Characterise a recorded trace before sweeping it (streams — a 10M-request
+v2 file is analyzed without materialising it)::
 
     python -m repro trace analyze traces/prod.trace
+
+Re-render the tables and terminal charts of an already-recorded sweep::
+
+    python -m repro sweep report results/demo
 
 Re-encode a text trace into the compressed binary v2 format and inspect it
 (both stream, so multi-million-request files are fine)::
@@ -53,9 +58,29 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     sweep_parser = subparsers.add_parser(
-        "sweep", help="run a campaign spec (workloads x allocators x costs x devices)"
+        "sweep",
+        help=(
+            "run a campaign spec (workloads x allocators x costs x devices), "
+            "or 'repro sweep report DIR' to re-render recorded artifacts"
+        ),
     )
-    sweep_parser.add_argument("spec", help="path to a campaign spec JSON file")
+    sweep_parser.add_argument(
+        "spec",
+        help="path to a campaign spec JSON file, or the literal 'report'",
+    )
+    sweep_parser.add_argument(
+        "report_dir",
+        nargs="?",
+        default=None,
+        metavar="DIR",
+        help="campaign artifact directory (only with 'repro sweep report DIR')",
+    )
+    sweep_parser.add_argument(
+        "--cell",
+        default=None,
+        metavar="SUBSTR",
+        help="(report) only chart cells whose id contains this substring",
+    )
     sweep_parser.add_argument(
         "--jobs",
         type=int,
@@ -87,9 +112,15 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_parser = subparsers.add_parser("trace", help="trace file utilities")
     trace_sub = trace_parser.add_subparsers(dest="trace_command")
     analyze_parser = trace_sub.add_parser(
-        "analyze", help="print footprint / size / lifetime / death-time analytics"
+        "analyze",
+        help="print footprint / size / lifetime / death-time analytics (streaming)",
     )
     analyze_parser.add_argument("path", help="path to a trace file (v0, v1, or v2 format)")
+    analyze_parser.add_argument(
+        "--no-chart",
+        action="store_true",
+        help="suppress the live-volume terminal chart after the tables",
+    )
     convert_parser = trace_sub.add_parser(
         "convert", help="re-encode a trace file into another format version (streaming)"
     )
@@ -127,8 +158,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep_report(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.campaign import load_results, sweep_report
+
+    if args.report_dir is None:
+        print(
+            "repro sweep report: name the campaign artifact directory "
+            "(repro sweep report <dir>)",
+            file=sys.stderr,
+        )
+        return 2
+    results_path = os.path.join(args.report_dir, "results.json")
+    try:
+        document = load_results(results_path)
+    except (OSError, ValueError) as error:
+        print(f"repro sweep report: cannot load {results_path!r}: {error}", file=sys.stderr)
+        return 2
+    print(sweep_report(document, cell_filter=args.cell))
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import os
+
+    if args.spec == "report":
+        return _cmd_sweep_report(args)
+    if args.report_dir is not None:
+        print(
+            f"repro sweep: unexpected extra argument {args.report_dir!r} "
+            "(did you mean 'repro sweep report <dir>'?)",
+            file=sys.stderr,
+        )
+        return 2
 
     from repro.campaign import (
         CampaignSpec,
@@ -176,7 +239,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             completed = completed_records(document)
     reporter = None if args.quiet else ProgressReporter()
-    result = run_campaign(spec, jobs=args.jobs, progress=reporter, completed=completed)
+    try:
+        result = run_campaign(spec, jobs=args.jobs, progress=reporter, completed=completed)
+    except SpecError as error:
+        # Matrix-level spec problems (e.g. a trace_recorder path shared by
+        # every cell) are caught before any cell runs; per-cell problems
+        # still land as error records instead of aborting the sweep.
+        print(f"repro sweep: {error}", file=sys.stderr)
+        return 2
     if reporter is not None:
         reporter.summary(len(result.records), result.elapsed_seconds)
     if result.metadata.get("resumed"):
@@ -194,18 +264,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_analyze(args: argparse.Namespace) -> int:
-    from repro.campaign import analytics_result, analyze_trace
-    from repro.workloads import load_trace
+    from repro.campaign import analytics_result
+    from repro.engine import TraceAnalyticsObserver
+    from repro.metrics.report import render_series
+    from repro.workloads import TraceFileSource
 
+    # One streaming pass: the observer accumulates every statistic while the
+    # file is read request by request, so a multi-million-request v2 trace
+    # is analyzed without ever materialising it.  The rendered analytics are
+    # identical to what the historical load-the-whole-trace path printed.
+    observer = TraceAnalyticsObserver()
     try:
-        trace = load_trace(args.path)
+        source = TraceFileSource(args.path)
+        for request in source:
+            observer.observe(request)
     except (OSError, ValueError) as error:
         print(f"repro trace analyze: {error}", file=sys.stderr)
         return 2
-    result = analytics_result(analyze_trace(trace))
+    analytics = observer.result(label=source.label)
+    result = analytics_result(analytics)
     print(result.to_text())
-    if trace.metadata:
-        print(f"metadata: {trace.metadata}")
+    if source.metadata:
+        print(f"metadata: {source.metadata}")
+    if not args.no_chart and observer.series_volume:
+        print()
+        print(
+            render_series(
+                observer.series_volume,
+                label=f"live volume over {analytics.requests} requests",
+            )
+        )
     return 0
 
 

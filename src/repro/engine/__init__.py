@@ -2,8 +2,9 @@
 
 The one instrumentation seam shared by the metrics collector, the experiment
 harness, and the campaign executor: replay a trace through an allocator with
-pluggable :class:`Observer` instances.  See ``README.md`` ("Architecture")
-for a worked example of writing a custom observer.
+pluggable :class:`Observer` instances.  See ``README.md`` ("Analytics &
+observers") for the registered observer kinds and a worked example of
+writing a custom observer.
 """
 
 from repro.engine.engine import EngineRun, Replayable, SimulationEngine, replay
@@ -13,12 +14,29 @@ from repro.engine.observers import (
     CostObserver,
     DeviceObserver,
     FootprintSeriesObserver,
+    GapHistogramObserver,
     HistoryObserver,
     MetricsObserver,
     Observer,
+    PerClassOccupancyObserver,
+    SampledSeriesObserver,
+    TraceRecorderObserver,
     build_observer,
     needs_events,
 )
+from repro.engine.analytics import (
+    TraceAnalytics,
+    TraceAnalyticsObserver,
+    analyze_source,
+    percentile,
+    size_histogram,
+    size_histogram_from_counts,
+)
+
+# The analytics observer lives in repro.engine.analytics (which itself
+# imports the Observer base class), so it registers here rather than in
+# repro.engine.observers.
+OBSERVER_KINDS["trace_analytics"] = TraceAnalyticsObserver
 
 __all__ = [
     "EVENT_HOOKS",
@@ -27,12 +45,22 @@ __all__ = [
     "DeviceObserver",
     "EngineRun",
     "FootprintSeriesObserver",
+    "GapHistogramObserver",
     "HistoryObserver",
     "MetricsObserver",
     "Observer",
+    "PerClassOccupancyObserver",
     "Replayable",
+    "SampledSeriesObserver",
     "SimulationEngine",
+    "TraceAnalytics",
+    "TraceAnalyticsObserver",
+    "TraceRecorderObserver",
+    "analyze_source",
     "build_observer",
     "needs_events",
+    "percentile",
     "replay",
+    "size_histogram",
+    "size_histogram_from_counts",
 ]

@@ -101,6 +101,18 @@ class SimulationEngine:
             if self.finish_pending and hasattr(allocator, "finish_pending_work"):
                 allocator.finish_pending_work()
             elapsed = time.perf_counter() - started
+        except BaseException as error:
+            # A raising replay never reaches on_finish; give every observer
+            # the chance to release external resources (e.g. a trace
+            # recorder aborts its writer so the partial file fails loudly).
+            # One observer's cleanup failing must neither starve the others
+            # of theirs nor replace the original replay error.
+            for observer in self.observers:
+                try:
+                    observer.on_abort(allocator, error)
+                except Exception:
+                    pass
+            raise
         finally:
             for observer in active:
                 allocator.detach_observer(observer)

@@ -22,9 +22,11 @@ per-event hook is *active* and switches the replay into recording mode.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.events import FlushRecord, MoveEvent, RequestRecord
+from repro.workloads.base import Request
 
 
 class Observer:
@@ -47,6 +49,14 @@ class Observer:
 
     def on_finish(self, allocator) -> None:
         """Called once after the replay (including pending work) completes."""
+
+    def on_abort(self, allocator, error: BaseException) -> None:
+        """Called instead of ``on_finish`` when the replay raises.
+
+        Observers holding external resources (an open trace writer, a file
+        handle) release them here; ``on_finish`` is never called for an
+        aborted replay.
+        """
 
 
 #: The per-event hooks whose presence makes an observer *active* (it must
@@ -110,10 +120,20 @@ class CostObserver(Observer):
 
 
 # ---------------------------------------------------------------------- series
-class FootprintSeriesObserver(Observer):
-    """Downsampled footprint/volume series with bounded memory.
+def decimate_series(indices: List[int], series: Sequence[List]) -> None:
+    """Drop every other sample in place, keeping ``series`` aligned with
+    ``indices`` (the adaptive-mode step that accompanies stride doubling).
+    Shared by :class:`SampledSeriesObserver` and
+    :class:`~repro.engine.analytics.TraceAnalyticsObserver`."""
+    indices[:] = indices[::2]
+    for values in series:
+        values[:] = values[::2]
 
-    Two sampling modes:
+
+class SampledSeriesObserver(Observer):
+    """Base class for bounded request-indexed series observers.
+
+    Two sampling modes, shared by every series observer:
 
     * ``every=N`` — record every ``N``-th request (the legacy ``sample_every``
       behaviour of ``run_trace``; the series grows with the trace).
@@ -123,9 +143,11 @@ class FootprintSeriesObserver(Observer):
       deterministic, covers the whole trace, and never holds more than ``M``
       points — a 10M-request replay keeps the same bounded memory as a
       10k-request one.
-    """
 
-    export_key = "footprint_series"
+    Subclasses implement ``_sample`` (append one sample to each of their
+    series lists) and ``_series`` (return those lists so decimation keeps
+    them aligned with :attr:`indices`).
+    """
 
     def __init__(self, every: int = 0, max_points: int = 512) -> None:
         if every < 0:
@@ -135,10 +157,16 @@ class FootprintSeriesObserver(Observer):
         self.every = int(every)
         self.max_points = int(max_points)
         self.indices: List[int] = []
-        self.footprint: List[int] = []
-        self.volume: List[int] = []
         self._seen = 0
         self._stride = self.every if self.every else 1
+
+    def _sample(self, record: RequestRecord) -> None:
+        """Append one sample to every series list (subclass hook)."""
+        raise NotImplementedError
+
+    def _series(self) -> Tuple[List, ...]:
+        """The sample lists decimated alongside ``indices`` (subclass hook)."""
+        raise NotImplementedError
 
     def on_request(self, record: RequestRecord) -> None:
         index = self._seen
@@ -146,23 +174,235 @@ class FootprintSeriesObserver(Observer):
         if index % self._stride != 0:
             return
         self.indices.append(index)
-        self.footprint.append(record.footprint_after)
-        self.volume.append(record.volume_after)
+        self._sample(record)
         if not self.every and len(self.indices) > self.max_points:
             # Adaptive mode: decimate in place and double the stride.
-            self.indices = self.indices[::2]
-            self.footprint = self.footprint[::2]
-            self.volume = self.volume[::2]
+            decimate_series(self.indices, self._series())
             self._stride *= 2
 
-    def export(self) -> Dict[str, Any]:
-        """A JSON-serialisable summary (used by campaign artifacts)."""
+    def _export_base(self) -> Dict[str, Any]:
         return {
             "stride": self._stride,
             "requests_seen": self._seen,
             "indices": list(self.indices),
-            "footprint": list(self.footprint),
-            "volume": list(self.volume),
+        }
+
+
+class FootprintSeriesObserver(SampledSeriesObserver):
+    """Downsampled footprint/volume series with bounded memory."""
+
+    export_key = "footprint_series"
+
+    def __init__(self, every: int = 0, max_points: int = 512) -> None:
+        super().__init__(every=every, max_points=max_points)
+        self.footprint: List[int] = []
+        self.volume: List[int] = []
+
+    def _sample(self, record: RequestRecord) -> None:
+        self.footprint.append(record.footprint_after)
+        self.volume.append(record.volume_after)
+
+    def _series(self) -> Tuple[List, ...]:
+        return (self.footprint, self.volume)
+
+    def export(self) -> Dict[str, Any]:
+        """A JSON-serialisable summary (used by campaign artifacts)."""
+        out = self._export_base()
+        out["footprint"] = list(self.footprint)
+        out["volume"] = list(self.volume)
+        return out
+
+
+class GapHistogramObserver(SampledSeriesObserver):
+    """Power-of-two gap-size occupancy over time, with bounded memory.
+
+    Each sample is a histogram of the allocator's current free gaps bucketed
+    by power-of-two length — the fragmentation fingerprint the free-list
+    policies differ on.  Free-list allocators expose their
+    :class:`~repro.storage.gap_index.GapIndex` gaps via ``free_extents()``
+    (an ordered O(n) walk); every other allocator falls back to the address
+    space's gaps below the footprint (``space.free_gaps()``).
+    """
+
+    export_key = "gap_histogram"
+
+    def __init__(self, every: int = 0, max_points: int = 128) -> None:
+        super().__init__(every=every, max_points=max_points)
+        self.counts: List[Dict[int, int]] = []  # per sample: exponent -> gaps
+        self.total_gaps: List[int] = []
+        self.free_volume: List[int] = []
+        self._allocator = None
+
+    def on_attach(self, allocator) -> None:
+        self._allocator = allocator
+
+    def _gaps(self):
+        allocator = self._allocator
+        if hasattr(allocator, "free_extents"):
+            return allocator.free_extents()
+        return allocator.space.free_gaps()
+
+    def _sample(self, record: RequestRecord) -> None:
+        histogram: Dict[int, int] = {}
+        total = 0
+        volume = 0
+        for extent in self._gaps():
+            exponent = extent.length.bit_length() - 1
+            histogram[exponent] = histogram.get(exponent, 0) + 1
+            total += 1
+            volume += extent.length
+        self.counts.append(histogram)
+        self.total_gaps.append(total)
+        self.free_volume.append(volume)
+
+    def _series(self) -> Tuple[List, ...]:
+        return (self.counts, self.total_gaps, self.free_volume)
+
+    def export(self) -> Dict[str, Any]:
+        """Bucket-aligned count rows per sample (JSON-serialisable)."""
+        exponents = sorted({e for sample in self.counts for e in sample})
+        out = self._export_base()
+        out["buckets"] = [[1 << e, (1 << (e + 1)) - 1] for e in exponents]
+        out["counts"] = [[sample.get(e, 0) for e in exponents] for sample in self.counts]
+        out["total_gaps"] = list(self.total_gaps)
+        out["free_volume"] = list(self.free_volume)
+        return out
+
+
+class PerClassOccupancyObserver(SampledSeriesObserver):
+    """Live object count and volume per power-of-two size class over time.
+
+    Derived purely from the request stream (insert adds to the class of the
+    object's size, delete removes), so it works identically on every
+    allocator and never touches allocator internals.
+    """
+
+    export_key = "per_class_occupancy"
+
+    def __init__(self, every: int = 0, max_points: int = 128) -> None:
+        super().__init__(every=every, max_points=max_points)
+        self._live_counts: Dict[int, int] = {}
+        self._live_volumes: Dict[int, int] = {}
+        self.counts: List[Dict[int, int]] = []
+        self.volumes: List[Dict[int, int]] = []
+
+    def on_request(self, record: RequestRecord) -> None:
+        exponent = record.size.bit_length() - 1
+        if record.op == "insert":
+            self._live_counts[exponent] = self._live_counts.get(exponent, 0) + 1
+            self._live_volumes[exponent] = self._live_volumes.get(exponent, 0) + record.size
+        else:
+            count = self._live_counts.get(exponent, 0) - 1
+            volume = self._live_volumes.get(exponent, 0) - record.size
+            if count > 0:
+                self._live_counts[exponent] = count
+                self._live_volumes[exponent] = volume
+            else:
+                self._live_counts.pop(exponent, None)
+                self._live_volumes.pop(exponent, None)
+        super().on_request(record)
+
+    def _sample(self, record: RequestRecord) -> None:
+        self.counts.append(dict(self._live_counts))
+        self.volumes.append(dict(self._live_volumes))
+
+    def _series(self) -> Tuple[List, ...]:
+        return (self.counts, self.volumes)
+
+    def export(self) -> Dict[str, Any]:
+        """Class-aligned count/volume rows per sample (JSON-serialisable)."""
+        exponents = sorted(
+            {e for sample in self.counts for e in sample}
+            | {e for sample in self.volumes for e in sample}
+        )
+        out = self._export_base()
+        out["classes"] = [[1 << e, (1 << (e + 1)) - 1] for e in exponents]
+        out["count"] = [[sample.get(e, 0) for e in exponents] for sample in self.counts]
+        out["volume"] = [[sample.get(e, 0) for e in exponents] for sample in self.volumes]
+        return out
+
+
+# -------------------------------------------------------------------- recorder
+class TraceRecorderObserver(Observer):
+    """Stream the replayed requests straight to an on-disk trace file.
+
+    Attaching this observer to a live engine run records the workload it
+    served — synthetic, adversarial, or generated on the fly — as a v2 (or
+    v0/v1) trace file via the same streaming
+    :func:`~repro.workloads.replay.open_trace_writer` path ``repro trace
+    convert`` uses, so a multi-million-request run is captured without ever
+    materialising it.  If the replay raises, the partial file is aborted and
+    left truncation-detectable (a v2 reader refuses it loudly).
+
+    In a campaign spec, ``"{cell}"`` in ``path`` is replaced by the cell
+    index, so parallel cells never clobber one another's recording.
+    """
+
+    export_key = "trace_recorder"
+
+    def __init__(
+        self,
+        path: str,
+        version: int = 2,
+        compress: bool = False,
+        label: str = "recorded",
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if not path:
+            raise ValueError("trace_recorder needs a non-empty 'path'")
+        self.path = str(path)
+        self.version = int(version)
+        self.compress = bool(compress)
+        self.label = str(label)
+        self.metadata = dict(metadata) if metadata else None
+        self.requests_written = 0
+        self.file_bytes = 0
+        self._writer = None
+        self._closed = False
+
+    def bind_cell(self, index: int, cell_id: str) -> None:
+        """Substitute the ``{cell}`` placeholder (called by the executor)."""
+        self.path = self.path.replace("{cell}", str(index))
+
+    def on_attach(self, allocator) -> None:
+        from repro.workloads.replay import open_trace_writer
+
+        self._writer = open_trace_writer(
+            self.path,
+            version=self.version,
+            label=self.label,
+            metadata=self.metadata,
+            compress=self.compress,
+        )
+        self._closed = False
+        self.requests_written = 0
+
+    def on_request(self, record: RequestRecord) -> None:
+        if record.op == "insert":
+            self._writer.write(Request.insert(record.name, record.size))
+        else:
+            self._writer.write(Request.delete(record.name))
+        self.requests_written += 1
+
+    def on_finish(self, allocator) -> None:
+        if self._writer is not None and not self._closed:
+            self._writer.close()
+            self._closed = True
+            self.file_bytes = os.path.getsize(self.path)
+
+    def on_abort(self, allocator, error: BaseException) -> None:
+        if self._writer is not None and not self._closed:
+            self._writer.abort()
+            self._closed = True
+
+    def export(self) -> Dict[str, Any]:
+        """Where the recording went (JSON-serialisable)."""
+        return {
+            "path": self.path,
+            "version": self.version,
+            "compressed": self.compress,
+            "requests": self.requests_written,
+            "file_bytes": self.file_bytes,
         }
 
 
@@ -206,6 +446,12 @@ class DeviceObserver(Observer):
 #: ``export_key`` naming the record field it fills.
 OBSERVER_KINDS = {
     "footprint_series": FootprintSeriesObserver,
+    "gap_histogram": GapHistogramObserver,
+    "per_class_occupancy": PerClassOccupancyObserver,
+    "trace_recorder": TraceRecorderObserver,
+    # "trace_analytics" (streaming trace analytics) is registered by
+    # repro.engine.__init__ — the class lives in repro.engine.analytics,
+    # which imports this module.
 }
 
 

@@ -45,6 +45,44 @@ def format_ratio(value: float, digits: int = 3) -> str:
     return f"{value:.{digits}f}"
 
 
+#: Density ramp used by :func:`render_bucket_series` sparklines.
+_DENSITY_RAMP = " .:-=+*#%@"
+
+
+def render_bucket_series(
+    labels: Sequence[str],
+    rows: Sequence[Sequence[float]],
+    width: int = 60,
+    title: str = "",
+) -> str:
+    """Render one density sparkline per bucket (gap/size-class histograms).
+
+    ``rows[i]`` is the series of bucket ``labels[i]`` over time; each line
+    is normalised by its own maximum, so shape is comparable across buckets
+    whose magnitudes differ by orders of magnitude.  Deterministic output:
+    same input, same characters.
+    """
+    if not labels or not rows:
+        return "(empty histogram series)"
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, series in zip(labels, rows):
+        values = list(series)
+        if len(values) > width:
+            step = len(values) / width
+            values = [values[int(i * step)] for i in range(width)]
+        top = max(values) if values else 0
+        if top <= 0:
+            spark = " " * len(values)
+        else:
+            scale = len(_DENSITY_RAMP) - 1
+            spark = "".join(
+                _DENSITY_RAMP[min(scale, int((value / top) * scale + 0.5))] for value in values
+            )
+        lines.append(f"{str(label).rjust(label_width)} |{spark}| max={top}")
+    return "\n".join(lines)
+
+
 def render_series(
     values: Sequence[float],
     width: int = 60,

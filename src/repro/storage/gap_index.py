@@ -103,6 +103,44 @@ def _merge(left: Optional[_Node], right: Optional[_Node]) -> Optional[_Node]:
     return _pull(right)
 
 
+def _fit_at_or_after(node: Optional[_Node], rank: int, size: int) -> Optional[Tuple[int, int]]:
+    """``(rank, start)`` of the lowest-ranked gap with rank >= ``rank`` and
+    length >= ``size`` in ``node``'s subtree (ranks subtree-relative), or None.
+
+    O(height): the recursion follows the single rank boundary path; every
+    subtree fully inside the range is entered only when its ``max_length``
+    guarantees a fit, in which case the plain leftmost-fit descent succeeds
+    without backtracking.
+    """
+    if node is None or node.max_length < size or rank >= node.count:
+        return None
+    if rank <= 0:
+        # Whole subtree in range: plain leftmost-fit descent, tracking rank.
+        base = 0
+        while True:
+            left = node.left
+            left_count = left.count if left is not None else 0
+            if left is not None and left.max_length >= size:
+                node = left
+            elif node.length >= size:
+                return base + left_count, node.start
+            else:
+                base += left_count + 1
+                node = node.right  # guaranteed by the subtree max
+    left = node.left
+    left_count = left.count if left is not None else 0
+    if rank < left_count:
+        found = _fit_at_or_after(left, rank, size)
+        if found is not None:
+            return found
+    if rank <= left_count and node.length >= size:
+        return left_count, node.start
+    found = _fit_at_or_after(node.right, rank - left_count - 1, size)
+    if found is not None:
+        return found[0] + left_count + 1, found[1]
+    return None
+
+
 def _delete(root: _Node, start: int) -> Optional[_Node]:
     if root.start == start:
         return _merge(root.left, root.right)
@@ -252,6 +290,30 @@ class GapIndex:
             return None
         widest = self._by_size[-1][0]
         return self._by_size[bisect_left(self._by_size, (widest,))][1]
+
+    def next_fit(self, size: int, rover: int) -> Optional[Tuple[int, int]]:
+        """``(rank, start)`` of the gap Next Fit's cyclic probe picks.
+
+        Equivalent to scanning :meth:`scan` ``(rover)`` for the first gap
+        with ``length >= size`` — including the seed scan's clamp of an
+        out-of-range rover to the last gap — but O(log n): one rank-bounded
+        descent over ranks ``>= min(rover, len - 1)`` plus, on wrap-around,
+        one plain leftmost-fit descent over the low ranks.
+        """
+        total = len(self)
+        if total == 0:
+            return None
+        rank = min(rover, total - 1)
+        found = _fit_at_or_after(self._root, rank, size)
+        if found is None and rank > 0:
+            # Wrap around: the lowest-ranked fit overall necessarily sits
+            # below ``rank`` (anything at or above it was just ruled out).
+            found = _fit_at_or_after(self._root, 0, size)
+        return found
+
+    def free_extents(self) -> List[Extent]:
+        """The gaps as a list of extents in address order (an O(n) walk)."""
+        return list(self)
 
     def scan(self, rank: int) -> Iterator[Tuple[int, int, int]]:
         """Yield every ``(rank, start, length)`` once, cyclically from ``rank``.

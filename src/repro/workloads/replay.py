@@ -46,7 +46,12 @@ and :class:`TraceFileSource` wraps a file as a re-iterable
 :class:`~repro.workloads.base.RequestSource` that ``Allocator.run``, the
 :class:`~repro.engine.SimulationEngine`, and ``repro.metrics.run_trace``
 accept in place of a ``Trace``.  :func:`trace_info` computes a file's
-summary statistics (counts, delta, peak live volume) in one streaming pass.
+summary statistics (counts, delta, peak live volume) in one streaming pass,
+and the full analytics bundle (``repro trace analyze``) streams the same
+way through :class:`~repro.engine.analytics.TraceAnalyticsObserver`.  The
+write direction streams too: every writer returned by
+:func:`open_trace_writer` is usable as a context manager, and the
+``trace_recorder`` engine observer pipes a live replay straight into one.
 """
 
 from __future__ import annotations
@@ -78,6 +83,22 @@ _GZIP_MAGIC = b"\x1f\x8b"
 
 
 # -------------------------------------------------------------------- writers
+class _WriterContextMixin:
+    """``with open_trace_writer(...) as writer:`` support for every format:
+    a clean exit closes (committing the trailer/metadata), an exception
+    aborts so a partial file is left truncation-detectable, never silently
+    valid."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
 def _check_v0_token(token: str, what: str, path) -> str:
     if token != token.strip() or any(ch.isspace() for ch in token):
         raise ValueError(
@@ -90,7 +111,7 @@ def _check_v0_token(token: str, what: str, path) -> str:
     return token
 
 
-class _TextTraceWriterV0:
+class _TextTraceWriterV0(_WriterContextMixin):
     """Streaming writer for the legacy headerless text format."""
 
     def __init__(self, path, label: str = "trace", metadata: Optional[dict] = None) -> None:
@@ -118,7 +139,7 @@ class _TextTraceWriterV0:
         self._handle.close()
 
 
-class _TextTraceWriterV1:
+class _TextTraceWriterV1(_WriterContextMixin):
     """Streaming writer for the percent-encoded v1 text format."""
 
     def __init__(self, path, label: str = "trace", metadata: Optional[dict] = None) -> None:

@@ -306,6 +306,38 @@ def test_failed_insert_restores_the_free_list_and_high_water():
     allocator.space.verify_disjoint()
 
 
+def test_gap_index_next_fit_matches_the_cyclic_scan():
+    gaps = GapIndex()
+    for start, length in [(0, 4), (10, 8), (30, 8), (50, 2), (60, 16)]:
+        gaps.add(Extent(start, length))
+    for rover in range(8):
+        for size in (1, 2, 4, 5, 8, 9, 16, 17):
+            expected = next(
+                ((rank, start) for rank, start, length in gaps.scan(rover) if length >= size),
+                None,
+            )
+            assert gaps.next_fit(size, rover) == expected, (rover, size)
+    assert GapIndex().next_fit(1, 0) is None
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    starts=st.lists(st.integers(min_value=0, max_value=400), min_size=0, max_size=40, unique=True),
+    rover=st.integers(min_value=0, max_value=60),
+    size=st.integers(min_value=1, max_value=12),
+)
+def test_gap_index_next_fit_agrees_with_scan_on_random_gap_sets(starts, rover, size):
+    gaps = GapIndex()
+    for start in starts:
+        # Lengths 1..10, disjoint and non-adjacent by construction.
+        gaps.add(Extent(start * 12, (start % 10) + 1))
+    expected = next(
+        ((rank, start) for rank, start, length in gaps.scan(rover) if length >= size),
+        None,
+    )
+    assert gaps.next_fit(size, rover) == expected
+
+
 def test_gap_index_scan_wraps_in_address_order():
     gaps = GapIndex()
     for start in (0, 10, 20, 30):
