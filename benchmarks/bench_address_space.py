@@ -22,6 +22,7 @@ import time
 
 import pytest
 
+from benchmarks.bench_artifact import record_metric
 from repro.allocators import FirstFitAllocator
 from repro.storage.address_space import AddressSpace
 from repro.workloads import UniformSizes, churn_trace
@@ -72,6 +73,11 @@ def test_indexed_audit_beats_the_legacy_scan_by_5x():
         f"\naudited first-fit replay ({len(LEGACY_TRACE)} requests, 4k live): "
         f"indexed={indexed:.3f}s legacy-scan={legacy:.3f}s ({legacy / indexed:.1f}x)"
     )
+    record_metric("address_space", "indexed_audit_seconds", round(indexed, 6), "seconds")
+    record_metric("address_space", "legacy_scan_seconds", round(legacy, 6), "seconds")
+    record_metric(
+        "address_space", "legacy_over_indexed_ratio", round(legacy / indexed, 2), "ratio"
+    )
     assert legacy >= 5 * indexed, (
         f"indexed audit ({indexed:.3f}s) is less than 5x faster than the "
         f"pre-index linear scan ({legacy:.3f}s); the overlap index has regressed"
@@ -98,6 +104,11 @@ def test_audited_replay_within_2x_of_unaudited_at_scale():
         f"\nfirst-fit replay ({len(SCALE_TRACE)} requests, {live} live): "
         f"audited={audited:.3f}s unaudited={unaudited:.3f}s "
         f"({audited / unaudited:.2f}x)"
+    )
+    record_metric("address_space", "audited_replay_seconds", round(audited, 6), "seconds")
+    record_metric("address_space", "unaudited_replay_seconds", round(unaudited, 6), "seconds")
+    record_metric(
+        "address_space", "audit_overhead_ratio", round(audited / unaudited, 3), "ratio"
     )
     assert audited <= 2 * unaudited, (
         f"audited replay ({audited:.3f}s) costs more than 2x the unaudited "

@@ -1,0 +1,109 @@
+"""Machine-readable benchmark artifacts: ``BENCH_<name>.json``.
+
+Every benchmark module records its headline numbers through
+:func:`record_metric`; at the end of the pytest session the conftest calls
+:func:`write_artifacts`, which writes one JSON file per bench so CI can
+upload them and trend tooling can diff runs without scraping terminal
+output.  The format is intentionally small and flat::
+
+    {
+      "format": "repro-bench-artifact",
+      "version": 1,
+      "bench": "engine",
+      "git_rev": "5a520f6...",            # null outside a git checkout
+      "env": {"python": "3.11.7", "platform": "linux", ...},
+      "metrics": {
+        "zero_observer_best_seconds": {"value": 0.021, "unit": "seconds"}
+      }
+    }
+
+Artifacts land in ``REPRO_BENCH_ARTIFACT_DIR`` when set, else the current
+working directory.  Everything here is stdlib-only and import-safe from any
+bench module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+from typing import Any, Dict, List, Optional, Union
+
+ARTIFACT_FORMAT = "repro-bench-artifact"
+ARTIFACT_VERSION = 1
+
+#: bench name -> metric name -> {"value": ..., "unit": ...}
+_METRICS: Dict[str, Dict[str, Dict[str, Any]]] = {}
+
+
+def record_metric(bench: str, metric: str, value: Union[int, float], unit: str) -> None:
+    """Record one headline number for ``bench`` (last write per name wins)."""
+    _METRICS.setdefault(bench, {})[metric] = {"value": value, "unit": unit}
+
+
+def recorded_benches() -> List[str]:
+    """The bench names that have recorded at least one metric, sorted."""
+    return sorted(_METRICS)
+
+
+def git_revision() -> Optional[str]:
+    """The current git commit hash, or None outside a checkout."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if output.returncode != 0:
+        return None
+    return output.stdout.strip() or None
+
+
+def env_fingerprint() -> Dict[str, Any]:
+    """Enough about the machine to interpret (not reproduce) the numbers."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "bench_full": os.environ.get("REPRO_BENCH_FULL", "") == "1",
+    }
+
+
+def write_artifacts(out_dir: Optional[str] = None) -> List[str]:
+    """Write one ``BENCH_<name>.json`` per recorded bench; returns the paths."""
+    if not _METRICS:
+        return []
+    if out_dir is None:
+        out_dir = os.environ.get("REPRO_BENCH_ARTIFACT_DIR") or "."
+    os.makedirs(out_dir, exist_ok=True)
+    rev = git_revision()
+    env = env_fingerprint()
+    paths = []
+    for bench in recorded_benches():
+        document = {
+            "format": ARTIFACT_FORMAT,
+            "version": ARTIFACT_VERSION,
+            "bench": bench,
+            "git_rev": rev,
+            "env": env,
+            "metrics": _METRICS[bench],
+        }
+        path = os.path.join(out_dir, f"BENCH_{bench}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        paths.append(path)
+    return paths
+
+
+def reset_metrics() -> None:
+    """Drop everything recorded so far (tests)."""
+    _METRICS.clear()

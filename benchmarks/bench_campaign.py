@@ -10,6 +10,7 @@ speedup approaches the machine's core count.
 import os
 import time
 
+from benchmarks.bench_artifact import record_metric
 from repro.campaign import CampaignSpec, campaign_table, run_campaign
 from repro.metrics.report import ascii_table
 
@@ -66,9 +67,21 @@ def test_campaign_parallel_speedup(benchmark, quick_mode):
         )
     )
 
+    record_metric("campaign", "serial_elapsed_seconds", round(serial_elapsed, 6), "seconds")
+    record_metric(
+        "campaign", "parallel_elapsed_seconds", round(parallel.elapsed_seconds, 6), "seconds"
+    )
+    record_metric(
+        "campaign",
+        "parallel_speedup",
+        round(serial_elapsed / max(parallel.elapsed_seconds, 1e-9), 3),
+        "ratio",
+    )
+
     def strip(records):
+        nondeterministic = ("elapsed_seconds", "resources", "telemetry", "profile")
         return [
-            {k: v for k, v in record.items() if k != "elapsed_seconds"}
+            {k: v for k, v in record.items() if k not in nondeterministic}
             for record in records
         ]
 

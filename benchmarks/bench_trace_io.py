@@ -20,6 +20,7 @@ import tracemalloc
 
 import pytest
 
+from benchmarks.bench_artifact import record_metric
 from repro.allocators import FirstFitAllocator
 from repro.campaign import analytics_result, analyze_trace
 from repro.engine import SimulationEngine
@@ -59,6 +60,12 @@ def test_v2_compressed_is_quarter_of_v1_size(trace_files):
         f"\n{REQUESTS} requests: v1={sizes['v1']} bytes, v2={sizes['v2']} bytes "
         f"({sizes['v2'] / sizes['v1']:.1%}), v2z={sizes['v2z']} bytes "
         f"({sizes['v2z'] / sizes['v1']:.1%})"
+    )
+    record_metric("trace_io", "v1_bytes", sizes["v1"], "bytes")
+    record_metric("trace_io", "v2_bytes", sizes["v2"], "bytes")
+    record_metric("trace_io", "v2z_bytes", sizes["v2z"], "bytes")
+    record_metric(
+        "trace_io", "v2z_over_v1_ratio", round(sizes["v2z"] / sizes["v1"], 4), "ratio"
     )
     assert sizes["v2"] < sizes["v1"], "uncompressed v2 must already beat the text format"
     assert sizes["v2z"] <= 0.25 * sizes["v1"], (
@@ -110,6 +117,8 @@ def test_streaming_analytics_matches_materialised_within_memory_budget(trace_fil
         f"streaming={streaming_peak // 1024} KiB "
         f"({streaming_peak / materialised_peak:.1%})"
     )
+    record_metric("trace_io", "materialised_peak_bytes", materialised_peak, "bytes")
+    record_metric("trace_io", "streaming_peak_bytes", streaming_peak, "bytes")
     assert streamed == materialised
     assert analytics_result(streamed).to_text() == analytics_result(materialised).to_text()
     assert streaming_peak <= materialised_peak * 0.2, (

@@ -32,6 +32,7 @@ from repro.engine.analytics import (  # noqa: F401 - re-exported for compatibili
     size_histogram,
 )
 from repro.harness.results import ExperimentResult
+from repro.metrics.report import render_sparkline
 
 
 def analyze_trace(trace, death_buckets: int = 10) -> TraceAnalytics:
@@ -83,6 +84,13 @@ def analytics_result(analytics: TraceAnalytics) -> ExperimentResult:
             [f"[{bucket['low']}, {bucket['high']}]", bucket["count"], bucket["volume"]]
         )
     result.notes.append(histogram.to_text())
+    if analytics.histogram:
+        result.notes.append(
+            "size buckets  count "
+            f"|{render_sparkline([b['count'] for b in analytics.histogram])}|"
+            "  volume "
+            f"|{render_sparkline([b['volume'] for b in analytics.histogram])}|"
+        )
 
     deaths = ExperimentResult(
         experiment_id="TRACE",
@@ -94,4 +102,11 @@ def analytics_result(analytics: TraceAnalytics) -> ExperimentResult:
             [bucket["bucket"], bucket["objects"], bucket["volume"], bucket["volume_fraction"]]
         )
     result.notes.append(deaths.to_text())
+    if analytics.death_groups:
+        result.notes.append(
+            "death tenths  objects "
+            f"|{render_sparkline([b['objects'] for b in analytics.death_groups])}|"
+            "  volume "
+            f"|{render_sparkline([b['volume'] for b in analytics.death_groups])}|"
+        )
     return result

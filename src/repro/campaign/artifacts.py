@@ -24,6 +24,7 @@ from typing import Any, Dict, List, Union
 from repro.campaign.executor import CampaignResult
 from repro.campaign.spec import CampaignSpec, entry_tag
 from repro.harness.results import ExperimentResult
+from repro.obs.format import format_duration
 
 #: Scalar columns exported to ``results.csv``, in order.
 CSV_COLUMNS = (
@@ -160,7 +161,7 @@ def campaign_table(result: CampaignResult) -> ExperimentResult:
         title=(
             f"Campaign {result.spec.name!r}: {len(result.records)} cells, "
             f"{len(result.error_records)} errors, jobs={result.jobs}, "
-            f"{result.elapsed_seconds:.2f}s"
+            f"{format_duration(result.elapsed_seconds)}"
         ),
         headers=[
             "workload",

@@ -44,14 +44,22 @@ from repro.campaign.spec import (
 )
 from repro.engine import DeviceObserver, Observer
 from repro.metrics.collector import run_trace
+from repro.obs.resources import resource_record, snapshot_resources
+from repro.obs.telemetry import MemorySink, Telemetry, get_telemetry, use_telemetry
 
 #: Called after each cell finishes: ``progress(done, total, record)``.
 ProgressCallback = Callable[[int, int, Dict[str, Any]], None]
 
 #: Bumped whenever the fields or semantics of a cell record change, so a
 #: resume never mixes records produced under older measurement semantics
-#: into a new artifact.
-RECORD_VERSION = 2
+#: into a new artifact.  v3 added the ``resources`` field (and, under
+#: ``--telemetry``, the per-cell counter/span snapshots).
+RECORD_VERSION = 3
+
+#: Cap on the span events copied into a cell record: enough for the full
+#: engine phase tree of a cell, bounded even if a future observer emits
+#: spans per request.
+_MAX_CELL_SPANS = 200
 
 
 @dataclass
@@ -74,7 +82,16 @@ class CampaignResult:
 
 
 def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Execute one campaign cell; never raises (errors become records)."""
+    """Execute one campaign cell; never raises (errors become records).
+
+    Every record carries a ``resources`` field (CPU time, peak RSS, GC
+    deltas over the cell).  With ``payload["telemetry"]`` set, the cell runs
+    under its own in-memory telemetry session — the process-current session
+    is swapped for the duration, so pool workers never write to a sink
+    inherited over ``fork`` — and its counter values and span events land in
+    ``record["telemetry"]``.  ``payload["profile_dir"]`` additionally wraps
+    the cell in ``cProfile`` and dumps ``cell-<index>.pstats`` there.
+    """
     started = time.perf_counter()
     record: Dict[str, Any] = {
         "index": payload["index"],
@@ -87,13 +104,45 @@ def run_cell(payload: Dict[str, Any]) -> Dict[str, Any]:
         "observers": payload.get("observers", []),
         "record_version": RECORD_VERSION,
     }
-    try:
-        record.update(_execute(payload))
-        record["status"] = "ok"
-    except Exception:
-        record["status"] = "error"
-        record["error"] = traceback.format_exc(limit=20)
+    telemetry_on = bool(payload.get("telemetry"))
+    cell_telemetry = Telemetry(enabled=telemetry_on, sink=MemorySink() if telemetry_on else None)
+    profile_dir = payload.get("profile_dir")
+    profiler = None
+    if profile_dir:
+        import cProfile
+
+        profiler = cProfile.Profile()
+    before = snapshot_resources()
+    with use_telemetry(cell_telemetry):
+        try:
+            if profiler is not None:
+                profiler.enable()
+            try:
+                with cell_telemetry.span("cell", cell_id=payload["cell_id"]):
+                    record.update(_execute(payload))
+            finally:
+                if profiler is not None:
+                    profiler.disable()
+            record["status"] = "ok"
+        except Exception:
+            record["status"] = "error"
+            record["error"] = traceback.format_exc(limit=20)
     record["elapsed_seconds"] = round(time.perf_counter() - started, 6)
+    record["resources"] = resource_record(before, snapshot_resources())
+    if telemetry_on:
+        spans = [e for e in cell_telemetry.sink.events if e.get("ev") == "span"]
+        record["telemetry"] = {
+            "counters": cell_telemetry.counter_values(),
+            "gauges": cell_telemetry.gauge_values(),
+            "spans": spans[:_MAX_CELL_SPANS],
+        }
+    if profiler is not None:
+        profile_path = os.path.join(profile_dir, f"cell-{payload['index']:04d}.pstats")
+        try:
+            profiler.dump_stats(profile_path)
+            record["profile"] = profile_path
+        except OSError:
+            pass
     return record
 
 
@@ -152,11 +201,51 @@ def _execute(payload: Dict[str, Any]) -> Dict[str, Any]:
     return result
 
 
+def _emit_cell_telemetry(telemetry: Telemetry, record: Dict[str, Any]) -> None:
+    """Re-emit one finished cell's telemetry into the campaign-level sink.
+
+    Pool workers buffer their cell's events in memory (they cannot share
+    the parent's JSONL file handle); as each record arrives the parent
+    stamps the events with the cell id and forwards them, which is what
+    lets ``repro obs report`` render per-cell span trees from one log.
+    Cell counter values are per-cell totals, i.e. deltas of the whole log,
+    so the report's per-name summation stays correct.
+    """
+    if not telemetry.enabled:
+        return
+    cell_id = str(record.get("cell_id", "?"))
+    telemetry.event(
+        "cell.done",
+        cell=cell_id,
+        status=record.get("status"),
+        elapsed_seconds=record.get("elapsed_seconds"),
+        resumed=bool(record.get("resumed")),
+    )
+    resources = record.get("resources")
+    if isinstance(resources, dict):
+        telemetry.emit("resources", "cell", cell=cell_id, fields=resources)
+    cell_data = record.get("telemetry")
+    if not isinstance(cell_data, dict):
+        return
+    for span in cell_data.get("spans", []):
+        event = dict(span)
+        event["cell"] = cell_id
+        telemetry.ingest(event)
+    now = round(telemetry.now(), 6)
+    for name, value in cell_data.get("counters", {}).items():
+        if value:
+            telemetry.ingest({"ev": "counter", "name": name, "t": now, "value": value, "cell": cell_id})
+    for name, value in cell_data.get("gauges", {}).items():
+        telemetry.ingest({"ev": "gauge", "name": name, "t": now, "value": value, "cell": cell_id})
+
+
 def run_campaign(
     spec: CampaignSpec,
     jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
     completed: Optional[Dict[str, Dict[str, Any]]] = None,
+    telemetry: bool = False,
+    profile_dir: Optional[str] = None,
 ) -> CampaignResult:
     """Run every cell of ``spec``, serially or over ``jobs`` processes.
 
@@ -173,8 +262,17 @@ def run_campaign(
     finish a half-completed sweep.  Anything stale (different campaign
     seed, changed observer parameters, records from an older release)
     simply re-runs.
+
+    ``telemetry=True`` (or an enabled process-current telemetry session)
+    makes every cell capture counter/span snapshots into its record; the
+    campaign re-emits them — stamped with the cell id — into the current
+    session's sink.  ``profile_dir`` enables per-cell ``cProfile`` dumps.
     """
     cells = spec.expand()
+    session = get_telemetry()
+    telemetry = bool(telemetry) or session.enabled
+    if profile_dir:
+        os.makedirs(profile_dir, exist_ok=True)
     if len(cells) > 1:
         # A recorder path without the {cell} placeholder would be opened
         # (and truncated) by every cell: serially each cell destroys the
@@ -206,7 +304,12 @@ def run_campaign(
             record["resumed"] = True
             reused.append(record)
         else:
-            payloads.append(cell.payload())
+            payload = cell.payload()
+            if telemetry:
+                payload["telemetry"] = True
+            if profile_dir:
+                payload["profile_dir"] = profile_dir
+            payloads.append(payload)
     if jobs <= 0:
         jobs = os.cpu_count() or 1
     jobs = min(jobs, max(1, len(payloads)))
@@ -214,20 +317,24 @@ def run_campaign(
     started = time.perf_counter()
     records: List[Dict[str, Any]] = list(reused)
     done = 0
-    if jobs == 1:
-        for payload in payloads:
-            record = run_cell(payload)
-            records.append(record)
-            done += 1
-            if progress is not None:
-                progress(done, len(payloads), record)
-    else:
-        with multiprocessing.Pool(processes=jobs) as pool:
-            for record in pool.imap_unordered(run_cell, payloads):
+    with session.span("sweep.run", campaign=spec.name, cells=len(cells), jobs=jobs):
+        if jobs == 1:
+            for payload in payloads:
+                record = run_cell(payload)
                 records.append(record)
+                _emit_cell_telemetry(session, record)
                 done += 1
                 if progress is not None:
                     progress(done, len(payloads), record)
+        else:
+            with multiprocessing.Pool(processes=jobs) as pool:
+                for record in pool.imap_unordered(run_cell, payloads):
+                    records.append(record)
+                    _emit_cell_telemetry(session, record)
+                    done += 1
+                    if progress is not None:
+                        progress(done, len(payloads), record)
+    session.flush()
     records.sort(key=lambda r: r["index"])
     elapsed = time.perf_counter() - started
 
@@ -241,6 +348,8 @@ def run_campaign(
             "ok": sum(1 for r in records if r["status"] == "ok"),
             "errors": sum(1 for r in records if r["status"] == "error"),
             "resumed": len(reused),
+            "telemetry": telemetry,
+            "profile_dir": profile_dir,
         },
     )
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 import sys
 from typing import Any, Dict, Optional, TextIO
 
+from repro.obs.format import format_duration
+
 
 class ProgressReporter:
     """Prints ``[done/total] status cell_id (elapsed)`` per finished cell."""
@@ -27,12 +29,12 @@ class ProgressReporter:
         self.stream.write(
             f"[{str(done).rjust(width)}/{total}] "
             f"{'ok   ' if status == 'ok' else 'ERROR'} "
-            f"{record['cell_id']} ({record['elapsed_seconds']:.2f}s)\n"
+            f"{record['cell_id']} ({format_duration(record['elapsed_seconds'])})\n"
         )
         self.stream.flush()
 
     def summary(self, total: int, elapsed_seconds: float) -> None:
         self.stream.write(
-            f"{total} cells in {elapsed_seconds:.2f}s, {self.errors} error(s)\n"
+            f"{total} cells in {format_duration(elapsed_seconds)}, {self.errors} error(s)\n"
         )
         self.stream.flush()

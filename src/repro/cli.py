@@ -24,6 +24,12 @@ Re-render the tables and terminal charts of an already-recorded sweep::
 
     python -m repro sweep report results/demo
 
+Sweep with telemetry on and inspect the recorded spans and counters::
+
+    python -m repro sweep campaign.json --telemetry --out results/demo
+    python -m repro obs report results/demo/telemetry.jsonl
+    python -m repro sweep report results/demo --telemetry
+
 Re-encode a text trace into the compressed binary v2 format and inspect it
 (both stream, so multi-million-request files are fine)::
 
@@ -108,6 +114,23 @@ def _build_parser() -> argparse.ArgumentParser:
             "the missing or failed ones (artifacts default to DIR)"
         ),
     )
+    sweep_parser.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record spans/counters/resources while sweeping (JSONL to PATH, "
+            "default <out>/telemetry.jsonl); with 'sweep report', render the "
+            "recorded per-cell telemetry tables"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="dump a cProfile .pstats file per cell under <out>/profiles/",
+    )
 
     trace_parser = subparsers.add_parser("trace", help="trace file utilities")
     trace_sub = trace_parser.add_subparsers(dest="trace_command")
@@ -141,6 +164,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "info", help="print a trace file's format, counts, and peak volume (streaming)"
     )
     info_parser.add_argument("path", help="path to a trace file (any known format)")
+
+    obs_parser = subparsers.add_parser("obs", help="telemetry log utilities")
+    obs_sub = obs_parser.add_subparsers(dest="obs_command")
+    obs_report_parser = obs_sub.add_parser(
+        "report",
+        help="render a telemetry JSONL log: span timeline, counters, per-cell trees",
+    )
+    obs_report_parser.add_argument("path", help="path to a telemetry .jsonl log")
+    obs_report_parser.add_argument(
+        "--cell",
+        default=None,
+        metavar="SUBSTR",
+        help="only render cells whose id contains this substring",
+    )
+    obs_report_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="validate every event against the schema and exit nonzero on problems",
+    )
     return parser
 
 
@@ -176,7 +218,11 @@ def _cmd_sweep_report(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as error:
         print(f"repro sweep report: cannot load {results_path!r}: {error}", file=sys.stderr)
         return 2
-    print(sweep_report(document, cell_filter=args.cell))
+    print(
+        sweep_report(
+            document, cell_filter=args.cell, telemetry=args.telemetry is not None
+        )
+    )
     return 0
 
 
@@ -238,26 +284,60 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         else:
             completed = completed_records(document)
+    # The artifact directory is settled before the run so the default
+    # telemetry log and the per-cell profile dumps can live inside it.
+    out_dir = args.out
+    if out_dir is None:
+        out_dir = args.resume if args.resume is not None else f"campaign-{spec.name}"
+    telemetry_session = None
+    telemetry_path = None
+    if args.telemetry is not None:
+        from repro.obs import JsonlSink, configure_telemetry, reset_telemetry
+
+        telemetry_path = args.telemetry or os.path.join(out_dir, "telemetry.jsonl")
+        parent = os.path.dirname(telemetry_path)
+        try:
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            telemetry_session = configure_telemetry(sink=JsonlSink(telemetry_path))
+        except OSError as error:
+            print(
+                f"repro sweep: cannot open telemetry log {telemetry_path!r}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+    profile_dir = os.path.join(out_dir, "profiles") if args.profile else None
     reporter = None if args.quiet else ProgressReporter()
     try:
-        result = run_campaign(spec, jobs=args.jobs, progress=reporter, completed=completed)
+        result = run_campaign(
+            spec,
+            jobs=args.jobs,
+            progress=reporter,
+            completed=completed,
+            telemetry=args.telemetry is not None,
+            profile_dir=profile_dir,
+        )
     except SpecError as error:
         # Matrix-level spec problems (e.g. a trace_recorder path shared by
         # every cell) are caught before any cell runs; per-cell problems
         # still land as error records instead of aborting the sweep.
         print(f"repro sweep: {error}", file=sys.stderr)
         return 2
+    finally:
+        if telemetry_session is not None:
+            telemetry_session.close()
+            reset_telemetry()
     if reporter is not None:
         reporter.summary(len(result.records), result.elapsed_seconds)
     if result.metadata.get("resumed"):
         print(f"resumed: {result.metadata['resumed']} cell(s) reused from {args.resume}")
-    out_dir = args.out
-    if out_dir is None:
-        out_dir = args.resume if args.resume is not None else f"campaign-{spec.name}"
     paths = write_results(result, out_dir)
     print(campaign_table(result).to_text())
     print()
-    print(f"artifacts: {paths['results']}  {paths['csv']}")
+    artifact_line = f"artifacts: {paths['results']}  {paths['csv']}"
+    if telemetry_path is not None:
+        artifact_line += f"  {telemetry_path}"
+    print(artifact_line)
     # Any failed cell makes the sweep exit nonzero so CI can gate on it; the
     # sweep itself still ran to completion and wrote every record.
     return 1 if result.error_records else 0
@@ -391,6 +471,34 @@ def _cmd_trace_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs import load_events, obs_report, validate_events
+
+    try:
+        events = load_events(args.path)
+    except (OSError, ValueError) as error:
+        print(f"repro obs report: {error}", file=sys.stderr)
+        return 2
+    if args.check:
+        problems = validate_events(events)
+        if problems:
+            for problem in problems:
+                print(f"repro obs report: {problem}", file=sys.stderr)
+            return 1
+    print(obs_report(events, cell_filter=args.cell))
+    return 0
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    if args.obs_command == "report":
+        return _cmd_obs_report(args)
+    print(
+        "repro obs: choose a subcommand (try: repro obs report <telemetry.jsonl>)",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     handlers = {
         "analyze": _cmd_trace_analyze,
@@ -423,6 +531,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     parser.print_help()
     return 1
 

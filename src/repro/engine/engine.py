@@ -23,6 +23,7 @@ from typing import Iterable, List, Sequence, Union
 
 from repro.core.base import Allocator
 from repro.engine.observers import Observer, needs_events
+from repro.obs.telemetry import get_telemetry
 from repro.workloads.base import Request, RequestSource, Trace
 
 #: What a replay can consume: a materialised trace, a streaming source
@@ -89,19 +90,30 @@ class SimulationEngine:
         can be replayed again with different instrumentation.
         """
         allocator = self.allocator
+        # One telemetry lookup per run, never per request: when disabled
+        # every span below is the shared no-op singleton and the stats
+        # bookkeeping at the end is skipped entirely.
+        telemetry = get_telemetry()
         active = [obs for obs in self.observers if needs_events(obs)]
-        for observer in self.observers:
-            observer.on_attach(allocator)
+        with telemetry.span("engine.attach"):
+            for observer in self.observers:
+                observer.on_attach(allocator)
         for observer in active:
             allocator.attach_observer(observer)
-        requests_before = allocator.stats.requests
+        stats = allocator.stats
+        requests_before = stats.requests
+        moves_before = stats.total_moves
+        flushes_before = stats.flushes
         try:
             started = time.perf_counter()
-            allocator.run(trace)
+            with telemetry.span("engine.replay"):
+                allocator.run(trace)
             if self.finish_pending and hasattr(allocator, "finish_pending_work"):
-                allocator.finish_pending_work()
+                with telemetry.span("engine.flush_pending"):
+                    allocator.finish_pending_work()
             elapsed = time.perf_counter() - started
         except BaseException as error:
+            telemetry.abort("engine.replay", error)
             # A raising replay never reaches on_finish; give every observer
             # the chance to release external resources (e.g. a trace
             # recorder aborts its writer so the partial file fails loudly).
@@ -116,12 +128,22 @@ class SimulationEngine:
         finally:
             for observer in active:
                 allocator.detach_observer(observer)
-        for observer in self.observers:
-            observer.on_finish(allocator)
+        with telemetry.span("engine.finish"):
+            for observer in self.observers:
+                observer.on_finish(allocator)
+        requests = stats.requests - requests_before
+        if telemetry.enabled:
+            telemetry.add("engine.replays")
+            telemetry.add("engine.requests", requests)
+            telemetry.add("engine.moves", stats.total_moves - moves_before)
+            telemetry.add("engine.flushes", stats.flushes - flushes_before)
+            if elapsed > 0:
+                telemetry.gauge("engine.requests_per_sec", round(requests / elapsed, 1))
+            telemetry.gauge("engine.elapsed_seconds", round(elapsed, 6))
         return EngineRun(
             allocator=allocator,
             trace=trace,
-            requests=allocator.stats.requests - requests_before,
+            requests=requests,
             elapsed_seconds=elapsed,
             observers=self.observers,
         )

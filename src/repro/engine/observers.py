@@ -23,9 +23,11 @@ per-event hook is *active* and switches the replay into recording mode.
 from __future__ import annotations
 
 import os
+import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.events import FlushRecord, MoveEvent, RequestRecord
+from repro.obs.telemetry import get_telemetry
 from repro.workloads.base import Request
 
 
@@ -357,8 +359,10 @@ class TraceRecorderObserver(Observer):
         self.metadata = dict(metadata) if metadata else None
         self.requests_written = 0
         self.file_bytes = 0
+        self.write_seconds = 0.0
         self._writer = None
         self._closed = False
+        self._timed = False
 
     def bind_cell(self, index: int, cell_id: str) -> None:
         """Substitute the ``{cell}`` placeholder (called by the executor)."""
@@ -376,12 +380,22 @@ class TraceRecorderObserver(Observer):
         )
         self._closed = False
         self.requests_written = 0
+        self.write_seconds = 0.0
+        # Per-write timing only exists while telemetry is on; the decision
+        # is made once per replay so the untimed path stays two branches.
+        self._timed = get_telemetry().enabled
 
     def on_request(self, record: RequestRecord) -> None:
         if record.op == "insert":
-            self._writer.write(Request.insert(record.name, record.size))
+            request = Request.insert(record.name, record.size)
         else:
-            self._writer.write(Request.delete(record.name))
+            request = Request.delete(record.name)
+        if self._timed:
+            started = time.perf_counter()
+            self._writer.write(request)
+            self.write_seconds += time.perf_counter() - started
+        else:
+            self._writer.write(request)
         self.requests_written += 1
 
     def on_finish(self, allocator) -> None:
@@ -389,6 +403,10 @@ class TraceRecorderObserver(Observer):
             self._writer.close()
             self._closed = True
             self.file_bytes = os.path.getsize(self.path)
+            if self._timed:
+                telemetry = get_telemetry()
+                telemetry.add("trace_recorder.write_seconds", round(self.write_seconds, 6))
+                telemetry.add("trace_recorder.requests", self.requests_written)
 
     def on_abort(self, allocator, error: BaseException) -> None:
         if self._writer is not None and not self._closed:
@@ -397,13 +415,18 @@ class TraceRecorderObserver(Observer):
 
     def export(self) -> Dict[str, Any]:
         """Where the recording went (JSON-serialisable)."""
-        return {
+        out = {
             "path": self.path,
             "version": self.version,
             "compressed": self.compress,
             "requests": self.requests_written,
             "file_bytes": self.file_bytes,
         }
+        if self._timed:
+            # Only recorded under telemetry, and nondeterministic — kept out
+            # of the export otherwise so record-equality comparisons hold.
+            out["write_seconds"] = round(self.write_seconds, 6)
+        return out
 
 
 class HistoryObserver(Observer):

@@ -49,6 +49,23 @@ def format_ratio(value: float, digits: int = 3) -> str:
 _DENSITY_RAMP = " .:-=+*#%@"
 
 
+def render_sparkline(values: Sequence[float]) -> str:
+    """One density character per value, normalised by the maximum.
+
+    Deterministic output (same input, same characters); all-zero or empty
+    input renders as blanks so callers can embed it between ``|`` rails
+    unconditionally.
+    """
+    values = list(values)
+    top = max(values) if values else 0
+    if top <= 0:
+        return " " * len(values)
+    scale = len(_DENSITY_RAMP) - 1
+    return "".join(
+        _DENSITY_RAMP[min(scale, int((value / top) * scale + 0.5))] for value in values
+    )
+
+
 def render_bucket_series(
     labels: Sequence[str],
     rows: Sequence[Sequence[float]],
@@ -72,13 +89,7 @@ def render_bucket_series(
             step = len(values) / width
             values = [values[int(i * step)] for i in range(width)]
         top = max(values) if values else 0
-        if top <= 0:
-            spark = " " * len(values)
-        else:
-            scale = len(_DENSITY_RAMP) - 1
-            spark = "".join(
-                _DENSITY_RAMP[min(scale, int((value / top) * scale + 0.5))] for value in values
-            )
+        spark = render_sparkline(values)
         lines.append(f"{str(label).rjust(label_width)} |{spark}| max={top}")
     return "\n".join(lines)
 

@@ -1,0 +1,70 @@
+"""Observability: telemetry spans/counters, resource accounting, reports.
+
+The telemetry substrate is deliberately tiny and stdlib-only so the hot
+modules (``repro.storage``, ``repro.engine``, ``repro.workloads.binary``)
+can import it without cycles and without cost: when telemetry is disabled
+(the default) every entry point returns a shared no-op singleton, so the
+instrumented fast paths stay fast paths.
+
+Enable it for a process with ``REPRO_TELEMETRY=<path.jsonl>`` (or ``1`` for
+an in-memory sink), programmatically with :func:`configure_telemetry`, or
+per campaign run with ``repro sweep --telemetry``.
+"""
+
+from repro.obs.format import (  # noqa: F401
+    format_bytes,
+    format_count,
+    format_duration,
+    format_rate,
+)
+from repro.obs.report import (  # noqa: F401
+    EVENT_KINDS,
+    load_events,
+    obs_report,
+    validate_events,
+)
+from repro.obs.resources import (  # noqa: F401
+    ResourceSnapshot,
+    resource_record,
+    snapshot_resources,
+)
+from repro.obs.telemetry import (  # noqa: F401
+    NULL_COUNTER,
+    NULL_SPAN,
+    Counter,
+    Gauge,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Telemetry,
+    configure_telemetry,
+    get_telemetry,
+    reset_telemetry,
+    use_telemetry,
+)
+
+__all__ = [
+    "Counter",
+    "EVENT_KINDS",
+    "Gauge",
+    "JsonlSink",
+    "MemorySink",
+    "NULL_COUNTER",
+    "NULL_SPAN",
+    "NullSink",
+    "ResourceSnapshot",
+    "Telemetry",
+    "configure_telemetry",
+    "format_bytes",
+    "format_count",
+    "format_duration",
+    "format_rate",
+    "get_telemetry",
+    "load_events",
+    "obs_report",
+    "reset_telemetry",
+    "resource_record",
+    "snapshot_resources",
+    "use_telemetry",
+    "validate_events",
+]

@@ -1,0 +1,64 @@
+"""One place to turn durations, byte counts, and big numbers into text.
+
+Campaign cell records round ``elapsed_seconds`` to six places, but the
+report layers used to each reformat it their own way (``.2f`` here,
+``.3f`` there).  Every human-facing view — ``sweep report``,
+``trace analyze``/``info``, ``obs report``, the progress reporter — goes
+through these helpers so the same quantity always reads the same.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+Number = Union[int, float]
+
+
+def format_duration(seconds: Number) -> str:
+    """``123us`` / ``4.5ms`` / ``1.23s`` / ``2m03.4s`` — unit follows size."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 0.001:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.2f}s"
+    minutes, rest = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{rest:04.1f}s"
+
+
+def format_bytes(count: Number) -> str:
+    """``512B`` / ``4.0KiB`` / ``1.5MiB`` — binary units, one decimal."""
+    if count < 0:
+        return "-" + format_bytes(-count)
+    if count < 1024:
+        return f"{count:.0f}B"
+    value = float(count)
+    for unit in ("KiB", "MiB", "GiB", "TiB"):
+        value /= 1024.0
+        if value < 1024.0 or unit == "TiB":
+            return f"{value:.1f}{unit}"
+    raise AssertionError("unreachable")
+
+
+def format_count(count: Number) -> str:
+    """``950`` / ``12.3k`` / ``4.5M`` — decimal units for event counts."""
+    if count < 0:
+        return "-" + format_count(-count)
+    if count < 1000:
+        # Small floats (e.g. fractional counter values) keep two decimals.
+        if isinstance(count, float) and count != int(count):
+            return f"{count:.2f}"
+        return str(int(count))
+    value = float(count)
+    for unit in ("k", "M", "G", "T"):
+        value /= 1000.0
+        if value < 1000.0 or unit == "T":
+            return f"{value:.1f}{unit}"
+    raise AssertionError("unreachable")
+
+
+def format_rate(per_second: Number) -> str:
+    """A count per second (``1.2M/s``)."""
+    return f"{format_count(per_second)}/s"

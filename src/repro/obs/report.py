@@ -1,0 +1,264 @@
+"""Load, validate, and render telemetry JSONL logs (``repro obs report``).
+
+A telemetry log is self-contained: one JSON object per line, each with
+``ev``/``name``/``t`` plus kind-specific fields (the schema lives in
+:mod:`repro.obs.telemetry` and README's "Observability" section).  The
+report is a pure view: span aggregates and a session timeline, counter
+totals (counter events carry deltas, so summing per name is correct),
+last-value gauges, and one section per campaign cell with its CPU/RSS
+figures and span tree.
+
+Module-level imports here must stay stdlib-only: ``repro.obs`` is imported
+by the storage and trace-codec hot paths, so anything heavier would create
+import cycles.  Table rendering is borrowed from ``repro.metrics.report``
+lazily, at call time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.obs.format import format_bytes, format_count, format_duration
+
+#: Every event kind a telemetry log may contain.
+EVENT_KINDS = ("meta", "span", "counter", "gauge", "event", "abort", "resources")
+
+#: Required kind-specific fields, checked by :func:`validate_events`.
+_REQUIRED_FIELDS: Dict[str, Tuple[Tuple[str, type], ...]] = {
+    "meta": (("attrs", dict),),
+    "span": (("path", str), ("depth", int), ("start", (int, float)), ("dur", (int, float))),
+    "counter": (("value", (int, float)),),
+    "gauge": (("value", (int, float)),),
+    "event": (),
+    "abort": (("error", str), ("error_type", str)),
+    "resources": (("fields", dict),),
+}
+
+
+def load_events(path: Union[str, os.PathLike]) -> List[Dict[str, Any]]:
+    """Parse a telemetry JSONL file into a list of event dicts.
+
+    Raises :class:`ValueError` (with the line number) on anything that is
+    not one JSON object per line; blank lines are skipped.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{number}: not valid JSON: {error}") from error
+            if not isinstance(event, dict):
+                raise ValueError(
+                    f"{path}:{number}: telemetry events are JSON objects, "
+                    f"got {type(event).__name__}"
+                )
+            events.append(event)
+    return events
+
+
+def validate_events(events: Iterable[Dict[str, Any]]) -> List[str]:
+    """Check events against the documented schema; returns the problems.
+
+    An empty list means the log is schema-clean.  Unknown extra fields are
+    allowed (the schema is open for forward compatibility); unknown event
+    kinds, missing required fields, and wrongly-typed values are not.
+    """
+    problems: List[str] = []
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        kind = event.get("ev")
+        if kind not in _REQUIRED_FIELDS:
+            problems.append(f"{where}: unknown ev {kind!r} (known: {', '.join(EVENT_KINDS)})")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where} ({kind}): 'name' must be a string")
+        if not isinstance(event.get("t"), (int, float)) or isinstance(event.get("t"), bool):
+            problems.append(f"{where} ({kind}): 't' must be a number")
+        for field, expected in _REQUIRED_FIELDS[kind]:
+            value = event.get(field)
+            if value is None or not isinstance(value, expected) or isinstance(value, bool):
+                problems.append(
+                    f"{where} ({kind} {event.get('name')!r}): missing or "
+                    f"mistyped field {field!r}"
+                )
+        cell = event.get("cell")
+        if cell is not None and not isinstance(cell, str):
+            problems.append(f"{where} ({kind}): 'cell' must be a string when present")
+    return problems
+
+
+def format_metric(name: str, value: Union[int, float]) -> str:
+    """Format a counter/gauge value by what its name says it measures."""
+    if name.endswith("_seconds") or name.endswith(".seconds"):
+        return format_duration(float(value))
+    if name.endswith("_bytes") or name.endswith(".bytes"):
+        return format_bytes(value)
+    return format_count(value)
+
+
+def _timeline_bar(start: float, duration: float, wall: float, width: int) -> str:
+    offset = min(width - 1, int((start / wall) * width)) if wall > 0 else 0
+    length = max(1, int((duration / wall) * width)) if wall > 0 else 1
+    length = min(length, width - offset)
+    return " " * offset + "#" * length + " " * (width - offset - length)
+
+
+def _span_tree_lines(spans: List[Dict[str, Any]], limit: int = 40) -> List[str]:
+    """Indented one-line-per-span rendering, in start order."""
+    ordered = sorted(spans, key=lambda s: (s.get("start", 0.0), s.get("depth", 0)))
+    lines = []
+    for span in ordered[:limit]:
+        depth = int(span.get("depth", 0))
+        name = span.get("name", "?")
+        note = f" [{span['error']}]" if span.get("error") else ""
+        lines.append(
+            f"  {'  ' * depth}{name}  {format_duration(float(span.get('dur', 0.0)))}"
+            f" @ {format_duration(float(span.get('start', 0.0)))}{note}"
+        )
+    if len(ordered) > limit:
+        lines.append(f"  ... {len(ordered) - limit} more span(s)")
+    return lines
+
+
+def obs_report(
+    events: List[Dict[str, Any]],
+    cell_filter: Optional[str] = None,
+    width: int = 50,
+) -> str:
+    """Render a telemetry event list as the ``repro obs report`` view."""
+    from repro.metrics.report import ascii_table
+
+    spans = [e for e in events if e.get("ev") == "span"]
+    counters = [e for e in events if e.get("ev") == "counter"]
+    gauges = [e for e in events if e.get("ev") == "gauge"]
+    aborts = [e for e in events if e.get("ev") == "abort"]
+    resources = [e for e in events if e.get("ev") == "resources"]
+    metas = [e for e in events if e.get("ev") == "meta"]
+
+    parts: List[str] = [
+        f"telemetry log: {len(events)} event(s) "
+        f"({len(spans)} spans, {len(counters)} counters, {len(aborts)} aborts)"
+    ]
+    if metas:
+        attrs = metas[0].get("attrs", {})
+        parts.append(
+            "session: "
+            + "  ".join(f"{key}={attrs[key]}" for key in sorted(attrs))
+        )
+
+    # Span aggregates over every cell and the session alike.
+    if spans:
+        totals: Dict[str, List[float]] = {}
+        for span in spans:
+            totals.setdefault(str(span.get("path", span.get("name", "?"))), []).append(
+                float(span.get("dur", 0.0))
+            )
+        rows = [
+            [
+                path,
+                len(durations),
+                format_duration(sum(durations)),
+                format_duration(sum(durations) / len(durations)),
+                format_duration(max(durations)),
+            ]
+            for path, durations in sorted(
+                totals.items(), key=lambda item: -sum(item[1])
+            )[:20]
+        ]
+        parts.append("")
+        parts.append(
+            ascii_table(
+                ["span path", "calls", "total", "mean", "max"],
+                rows,
+                title="top spans by total time",
+            )
+        )
+
+    # Timeline of session-level spans (cell spans are cell-relative).
+    session_spans = [s for s in spans if "cell" not in s]
+    if session_spans:
+        wall = max(float(s.get("start", 0.0)) + float(s.get("dur", 0.0)) for s in session_spans)
+        label_width = max(len(str(s.get("path", "?"))) for s in session_spans[:30])
+        parts.append("")
+        parts.append(f"session span timeline (wall {format_duration(wall)})")
+        for span in sorted(session_spans, key=lambda s: s.get("start", 0.0))[:30]:
+            start = float(span.get("start", 0.0))
+            duration = float(span.get("dur", 0.0))
+            bar = _timeline_bar(start, duration, wall, width)
+            parts.append(
+                f"{str(span.get('path', '?')).ljust(label_width)} |{bar}| "
+                f"{format_duration(duration)}"
+            )
+
+    # Counter events carry deltas; summing per name gives true totals.
+    if counters:
+        sums: Dict[str, float] = {}
+        for event in counters:
+            sums[str(event.get("name", "?"))] = sums.get(str(event.get("name", "?")), 0) + event.get("value", 0)
+        rows = [
+            [name, format_metric(name, value), format_count(value)]
+            for name, value in sorted(sums.items(), key=lambda item: -abs(item[1]))
+        ]
+        parts.append("")
+        parts.append(ascii_table(["counter", "total", "raw"], rows, title="counter totals"))
+
+    if gauges:
+        last: Dict[str, Any] = {}
+        for event in gauges:
+            last[str(event.get("name", "?"))] = event.get("value", 0)
+        rows = [[name, format_metric(name, value)] for name, value in sorted(last.items())]
+        parts.append("")
+        parts.append(ascii_table(["gauge", "last value"], rows, title="gauges (last value)"))
+
+    for event in aborts:
+        parts.append("")
+        parts.append(
+            f"ABORT {event.get('name', '?')}: {event.get('error_type', '?')}: "
+            f"{event.get('error', '?')}"
+        )
+
+    # Per-cell sections: resources plus the cell's span tree.
+    cell_ids: List[str] = []
+    for event in events:
+        cell = event.get("cell")
+        if isinstance(cell, str) and cell not in cell_ids:
+            cell_ids.append(cell)
+    for cell_id in cell_ids:
+        if cell_filter and cell_filter not in cell_id:
+            continue
+        parts.append("")
+        parts.append(f"--- cell {cell_id} ---")
+        for event in resources:
+            if event.get("cell") == cell_id:
+                fields = event.get("fields", {})
+                parts.append(
+                    f"  cpu {format_duration(fields.get('cpu_seconds', 0.0))}"
+                    f" (user {format_duration(fields.get('cpu_user_seconds', 0.0))}"
+                    f" / sys {format_duration(fields.get('cpu_system_seconds', 0.0))})"
+                    f"  peak rss {format_bytes(fields.get('max_rss_kb', 0) * 1024)}"
+                    f"  gc {fields.get('gc_collections', 0)} collection(s)"
+                )
+        cell_spans = [s for s in spans if s.get("cell") == cell_id]
+        if cell_spans:
+            parts.extend(_span_tree_lines(cell_spans))
+        cell_counters = {
+            str(e.get("name")): e.get("value", 0)
+            for e in counters
+            if e.get("cell") == cell_id
+        }
+        if cell_counters:
+            summary = "  ".join(
+                f"{name}={format_metric(name, value)}"
+                for name, value in sorted(cell_counters.items())
+            )
+            parts.append(f"  counters: {summary}")
+    return "\n".join(parts)

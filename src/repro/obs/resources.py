@@ -1,0 +1,84 @@
+"""Per-process resource accounting for campaign cells.
+
+The executor snapshots before and after each cell and stores the diff in
+the cell record (next to ``elapsed_seconds``), so ``results.json`` answers
+"which cell ate the CPU/memory?" without re-running anything.
+
+``resource.getrusage`` is POSIX-only; on platforms without it the CPU
+times fall back to :func:`os.times` and ``max_rss_kb`` reports 0.  Note
+that ``ru_maxrss`` is a process-lifetime *peak*: in a multiprocessing
+pool a worker's later cells inherit the peak of its earlier ones, so
+treat per-cell RSS as an upper bound, not an exact attribution.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+from dataclasses import dataclass
+from typing import Any, Dict
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    _resource = None
+
+
+@dataclass(frozen=True)
+class ResourceSnapshot:
+    """One point-in-time reading of the process's resource usage."""
+
+    cpu_user: float
+    cpu_system: float
+    max_rss_kb: int
+    gc_collections: int
+    gc_collected: int
+    gc_uncollectable: int
+
+
+def snapshot_resources() -> ResourceSnapshot:
+    """Read the current process's CPU time, peak RSS, and GC totals."""
+    if _resource is not None:
+        usage = _resource.getrusage(_resource.RUSAGE_SELF)
+        cpu_user = usage.ru_utime
+        cpu_system = usage.ru_stime
+        max_rss = int(usage.ru_maxrss)
+        if sys.platform == "darwin":
+            # macOS reports ru_maxrss in bytes; Linux in kilobytes.
+            max_rss //= 1024
+    else:  # pragma: no cover - non-POSIX fallback
+        times = os.times()
+        cpu_user, cpu_system, max_rss = times.user, times.system, 0
+    collections = collected = uncollectable = 0
+    for generation in gc.get_stats():
+        collections += generation.get("collections", 0)
+        collected += generation.get("collected", 0)
+        uncollectable += generation.get("uncollectable", 0)
+    return ResourceSnapshot(
+        cpu_user=cpu_user,
+        cpu_system=cpu_system,
+        max_rss_kb=max_rss,
+        gc_collections=collections,
+        gc_collected=collected,
+        gc_uncollectable=uncollectable,
+    )
+
+
+def resource_record(before: ResourceSnapshot, after: ResourceSnapshot) -> Dict[str, Any]:
+    """The JSON-serialisable ``resources`` field of a cell record.
+
+    CPU and GC figures are deltas over the measured block; ``max_rss_kb``
+    is the process peak at the end of it (peaks cannot be diffed).
+    """
+    cpu_user = max(0.0, after.cpu_user - before.cpu_user)
+    cpu_system = max(0.0, after.cpu_system - before.cpu_system)
+    return {
+        "cpu_user_seconds": round(cpu_user, 6),
+        "cpu_system_seconds": round(cpu_system, 6),
+        "cpu_seconds": round(cpu_user + cpu_system, 6),
+        "max_rss_kb": after.max_rss_kb,
+        "gc_collections": after.gc_collections - before.gc_collections,
+        "gc_collected": after.gc_collected - before.gc_collected,
+        "gc_uncollectable": after.gc_uncollectable - before.gc_uncollectable,
+    }

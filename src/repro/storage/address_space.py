@@ -30,6 +30,7 @@ from bisect import bisect_left, insort
 from collections import Counter
 from typing import Dict, Hashable, Iterator, List, Optional, Tuple
 
+from repro.obs.telemetry import get_telemetry
 from repro.storage.extent import Extent
 
 #: Below this many heap entries compaction is never worth the rebuild.
@@ -66,6 +67,15 @@ class AddressSpace:
         self._index: List[Tuple[int, int, int, Hashable]] = []
         self._order: Dict[Hashable, int] = {}
         self._order_seq = 0
+        # Bound once at construction, only when telemetry is enabled; the
+        # hot paths pay a single attribute-is-None check while it is off.
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            self._c_probes = telemetry.counter("address_space.audit_probes")
+            self._c_compactions = telemetry.counter("address_space.heap_compactions")
+        else:
+            self._c_probes = None
+            self._c_compactions = None
 
     @property
     def validate(self) -> bool:
@@ -98,6 +108,9 @@ class AddressSpace:
         disjoint: sorted by start they are also sorted by end, so only the
         closest non-ignored entry on each side can reach into ``extent``.
         """
+        counter = self._c_probes
+        if counter is not None:
+            counter.value += 1
         index = self._index
         pos = bisect_left(index, (extent.start,))
         i = pos - 1
@@ -152,6 +165,9 @@ class AddressSpace:
             # rebuild from the distinct live end addresses.  One entry per
             # distinct end suffices: footprint() only pops ends that are no
             # longer in the counter.
+            compactions = self._c_compactions
+            if compactions is not None:
+                compactions.value += 1
             self._end_heap = [-end for end in self._end_counts]
             heapq.heapify(self._end_heap)
 

@@ -30,6 +30,7 @@ import random
 from bisect import bisect_left, insort
 from typing import Iterator, List, Optional, Tuple
 
+from repro.obs.telemetry import get_telemetry
 from repro.storage.extent import Extent
 
 
@@ -161,6 +162,20 @@ class GapIndex:
         self._by_size: List[Tuple[int, int]] = []
         self._total = 0
         self._rng = random.Random(0x9A95)
+        # Telemetry counters are bound once, at construction, and only when
+        # the process-current session is enabled; with telemetry off every
+        # hot method pays exactly one attribute-is-None check.
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            self._c_queries = telemetry.counter("gap_index.policy_queries")
+            self._c_adds = telemetry.counter("gap_index.gap_adds")
+            self._c_removes = telemetry.counter("gap_index.gap_removes")
+            self._c_coalesces = telemetry.counter("gap_index.coalesce_probes")
+        else:
+            self._c_queries = None
+            self._c_adds = None
+            self._c_removes = None
+            self._c_coalesces = None
 
     # ------------------------------------------------------------- basics
     def __len__(self) -> int:
@@ -201,6 +216,9 @@ class GapIndex:
     # ----------------------------------------------------------- mutation
     def add(self, extent: Extent) -> None:
         """Insert a gap; the caller guarantees disjointness from existing gaps."""
+        counter = self._c_adds
+        if counter is not None:
+            counter.value += 1
         node = _Node(extent.start, extent.length, self._rng.getrandbits(62))
         self._root = _insert(self._root, node)
         insort(self._by_size, (extent.length, extent.start))
@@ -215,6 +233,9 @@ class GapIndex:
         return Extent(start, length)
 
     def _remove_known(self, start: int, length: int) -> None:
+        counter = self._c_removes
+        if counter is not None:
+            counter.value += 1
         self._root = _delete(self._root, start)
         del self._by_size[bisect_left(self._by_size, (length, start))]
         self._total -= length
@@ -240,6 +261,9 @@ class GapIndex:
         The merged extent is *not* inserted: the caller decides whether it
         becomes a gap or shrinks the high-water mark.
         """
+        counter = self._c_coalesces
+        if counter is not None:
+            counter.value += 1
         start, end = extent.start, extent.end
         predecessor = self._neighbor(extent.start, before=True)
         if predecessor is not None and predecessor.end == start:
@@ -266,6 +290,9 @@ class GapIndex:
     # ------------------------------------------------------ policy queries
     def first_fit(self, size: int) -> Optional[int]:
         """Start of the lowest-addressed gap with length >= ``size``."""
+        counter = self._c_queries
+        if counter is not None:
+            counter.value += 1
         node = self._root
         if node is None or node.max_length < size:
             return None
@@ -279,6 +306,9 @@ class GapIndex:
 
     def best_fit(self, size: int) -> Optional[int]:
         """Start of the tightest fitting gap (address-lowest on ties)."""
+        counter = self._c_queries
+        if counter is not None:
+            counter.value += 1
         pos = bisect_left(self._by_size, (size,))
         if pos == len(self._by_size):
             return None
@@ -286,6 +316,9 @@ class GapIndex:
 
     def worst_fit(self, size: int) -> Optional[int]:
         """Start of the widest gap (address-lowest on ties), if it fits."""
+        counter = self._c_queries
+        if counter is not None:
+            counter.value += 1
         if not self._by_size or self._by_size[-1][0] < size:
             return None
         widest = self._by_size[-1][0]
@@ -300,6 +333,9 @@ class GapIndex:
         descent over ranks ``>= min(rover, len - 1)`` plus, on wrap-around,
         one plain leftmost-fit descent over the low ranks.
         """
+        counter = self._c_queries
+        if counter is not None:
+            counter.value += 1
         total = len(self)
         if total == 0:
             return None

@@ -50,6 +50,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Optional, Union
 
+from repro.obs.telemetry import get_telemetry
 from repro.workloads.base import Request
 
 #: First bytes of every v2 trace file.
@@ -98,10 +99,12 @@ class _RecordStream:
         self._buffer = b""
         self._pos = 0
         self._input_done = False
+        self.raw_bytes = 0  # compressed/on-disk body bytes consumed
 
     def _fill(self, need: int) -> None:
         while len(self._buffer) - self._pos < need and not self._input_done:
             chunk = self._handle.read(_CHUNK)
+            self.raw_bytes += len(chunk)
             if not chunk:
                 self._input_done = True
                 if self._decompressor is not None:
@@ -310,6 +313,13 @@ def iter_binary_records(handle, header: BinaryHeader, path) -> Iterator[Request]
                 )
             if not stream.at_eof():
                 raise TraceFormatError(f"{path}: trailing data after the END trailer")
+            # Cold path: counters are pushed once per completed file, so the
+            # per-record decode loop never touches telemetry.
+            telemetry = get_telemetry()
+            if telemetry.enabled:
+                telemetry.add("trace_io.decode_records", count)
+                telemetry.add("trace_io.decode_bytes", stream.raw_bytes)
+                telemetry.add("trace_io.decode_files")
             return
         count += 1
         if tag == _TAG_INSERT_NEW:
@@ -457,6 +467,13 @@ class BinaryTraceWriter:
             self._handle.write(self._compressor.flush())
         self._handle.close()
         self._closed = True
+        # Cold path: one telemetry push per completed file, so the
+        # per-request write loop never touches telemetry.
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.add("trace_io.encode_records", self.count)
+            telemetry.add("trace_io.encode_bytes", os.path.getsize(self.path))
+            telemetry.add("trace_io.encode_files")
 
     def abort(self) -> None:
         """Close the underlying file without writing a valid trailer."""

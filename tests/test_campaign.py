@@ -15,6 +15,7 @@ from repro.campaign import (
     run_campaign,
     write_results,
 )
+from repro.campaign.executor import RECORD_VERSION
 from repro.cli import main
 from repro.workloads import churn_trace, grow_then_shrink_trace, save_trace
 
@@ -36,10 +37,14 @@ def small_spec(**overrides):
 
 
 def comparable(records):
-    """Strip timing (non-deterministic) fields from cell records."""
+    """Strip timing/resource (non-deterministic) fields from cell records."""
     stripped = []
     for record in records:
-        copy = {k: v for k, v in record.items() if k not in ("elapsed_seconds",)}
+        copy = {
+            k: v
+            for k, v in record.items()
+            if k not in ("elapsed_seconds", "resources", "telemetry", "profile")
+        }
         stripped.append(copy)
     return stripped
 
@@ -299,7 +304,11 @@ def test_run_campaign_resumes_from_completed_records():
     assert {r["cell_id"] for r in resumed} == set(completed)
     # Re-run cells and reused cells together reproduce the full first run.
     stripped = [
-        {k: v for k, v in record.items() if k not in ("elapsed_seconds", "resumed")}
+        {
+            k: v
+            for k, v in record.items()
+            if k not in ("elapsed_seconds", "resources", "telemetry", "profile", "resumed")
+        }
         for record in second.records
     ]
     assert stripped == comparable(first.records)
@@ -394,7 +403,7 @@ def test_resume_reruns_records_from_older_release():
         record.pop("observers", None)
     result = run_campaign(spec, jobs=1, completed=completed_records(document))
     assert result.metadata["resumed"] == 0  # stale semantics: nothing reused
-    assert all(r["record_version"] == 2 for r in result.records)
+    assert all(r["record_version"] == RECORD_VERSION for r in result.records)
 
 
 # ----------------------------------------------------------- streaming cells
@@ -416,7 +425,7 @@ def test_replay_workload_streams_from_v2_file(tmp_path):
     result = run_campaign(spec, jobs=1)
     assert [r["status"] for r in result.records] == ["ok", "ok"]
     materialised, streamed = result.records
-    ignore = {"index", "cell_id", "workload", "elapsed_seconds", "seed"}
+    ignore = {"index", "cell_id", "workload", "elapsed_seconds", "resources", "seed"}
     assert {k: v for k, v in materialised.items() if k not in ignore} == {
         k: v for k, v in streamed.items() if k not in ignore
     }
