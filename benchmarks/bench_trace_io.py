@@ -1,10 +1,17 @@
-"""Trace I/O benchmarks: v1-vs-v2 file size, load throughput, and the
-streaming peak-memory guard.
+"""Trace I/O benchmarks: file sizes, decode throughput, sharded replay, and
+the streaming peak-memory guard.
 
-Two hard guards run on every invocation (no ``--benchmark-only`` needed):
+Hard guards that run on every invocation (no ``--benchmark-only`` needed):
 
 * a synthetic churn trace saved as compressed v2 must be at most 25% of its
-  v1 text size, and
+  v1 text size;
+* the block-indexed v3 encoding must stay within 110% of the v2 size;
+* the live v2 decoder must be at least 25% faster than the pre-optimisation
+  codec preserved in :mod:`benchmarks.legacy_codec` (same file, same
+  machine, so the guard is machine-independent);
+* a sharded ``--jobs`` analytics pass must be byte-identical to the serial
+  one (the >= 2x speedup assertion additionally needs ``REPRO_BENCH_FULL=1``
+  and at least four CPUs — fork/merge overhead swamps the small CI trace);
 * streaming replay through :class:`TraceFileSource` must complete with a
   small fraction of the peak memory that materialising the :class:`Trace`
   costs — i.e. the replay provably never holds the trace.
@@ -16,14 +23,17 @@ The default trace is 200k requests so CI stays fast; set
 """
 
 import os
+import time
 import tracemalloc
 
 import pytest
 
 from benchmarks.bench_artifact import record_metric
+from benchmarks.legacy_codec import iter_legacy_trace
 from repro.allocators import FirstFitAllocator
 from repro.campaign import analytics_result, analyze_trace
-from repro.engine import SimulationEngine
+from repro.engine import SimulationEngine, analyze_trace_parallel
+from repro.engine.analytics import TraceAnalyticsObserver
 from repro.workloads import (
     TraceFileSource,
     UniformSizes,
@@ -46,10 +56,14 @@ def trace_files(tmp_path_factory):
         "v1": base / "churn.v1",
         "v2": base / "churn.v2",
         "v2z": base / "churn.v2z",
+        "v3": base / "churn.v3",
+        "v3z": base / "churn.v3z",
     }
     save_trace(trace, paths["v1"], version=1)
     save_trace(trace, paths["v2"], version=2)
     save_trace(trace, paths["v2z"], version=2, compress=True)
+    save_trace(trace, paths["v3"], version=3)
+    save_trace(trace, paths["v3z"], version=3, compress=True)
     return {"trace": trace, "paths": paths}
 
 
@@ -75,6 +89,19 @@ def test_v2_compressed_is_quarter_of_v1_size(trace_files):
     )
 
 
+def test_v3_within_size_budget_of_v2(trace_files):
+    """The block index (snapshots + footer) must cost at most 10% over v2."""
+    v2 = os.path.getsize(trace_files["paths"]["v2"])
+    v3 = os.path.getsize(trace_files["paths"]["v3"])
+    print(f"\n{REQUESTS} requests: v2={v2} bytes, v3={v3} bytes ({v3 / v2:.1%})")
+    record_metric("trace_io", "v3_bytes", v3, "bytes")
+    record_metric("trace_io", "v3_over_v2_ratio", round(v3 / v2, 4), "ratio")
+    assert v3 <= 1.10 * v2, (
+        f"v3 is {v3 / v2:.1%} of the v2 size ({v3} vs {v2} bytes); the block "
+        "index overhead regressed past the 110% budget"
+    )
+
+
 @pytest.mark.parametrize("tag", ["v1", "v2", "v2z"])
 def test_load_throughput(benchmark, trace_files, tag):
     """Full materialising load, timed per format."""
@@ -84,7 +111,7 @@ def test_load_throughput(benchmark, trace_files, tag):
     assert len(loaded) == REQUESTS
 
 
-@pytest.mark.parametrize("tag", ["v1", "v2z"])
+@pytest.mark.parametrize("tag", ["v1", "v2z", "v3", "v3z"])
 def test_stream_throughput(benchmark, trace_files, tag):
     """Streaming scan (no materialisation), timed per format."""
     path = trace_files["paths"][tag]
@@ -93,6 +120,79 @@ def test_stream_throughput(benchmark, trace_files, tag):
         return sum(1 for _ in iter_trace(path))
 
     assert benchmark.pedantic(scan, rounds=1, iterations=1) == REQUESTS
+
+
+def _best_scan_seconds(scan, rounds=3):
+    """Best-of-N wall time of ``scan()`` (min damps scheduler noise)."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        count = scan()
+        best = min(best, time.perf_counter() - started)
+        assert count == REQUESTS
+    return best
+
+
+def test_decode_throughput_beats_legacy_codec(trace_files):
+    """The codec guard: the live v2 decoder must be >= 1.25x the pre-PR one.
+
+    Both decoders scan the same uncompressed v2 file on the same machine in
+    the same process, so the ratio is hardware-independent; an absolute
+    requests/sec figure is recorded for the artifact but never asserted.
+    """
+    path = trace_files["paths"]["v2"]
+    legacy = _best_scan_seconds(lambda: sum(1 for _ in iter_legacy_trace(path)))
+    live = _best_scan_seconds(lambda: sum(1 for _ in iter_trace(path)))
+    speedup = legacy / live
+    print(
+        f"\nserial v2 decode of {REQUESTS} requests: legacy={REQUESTS / legacy:,.0f} req/s, "
+        f"live={REQUESTS / live:,.0f} req/s ({speedup:.2f}x)"
+    )
+    record_metric("trace_io", "decode_requests_per_sec", round(REQUESTS / live), "req/s")
+    record_metric(
+        "trace_io", "decode_legacy_requests_per_sec", round(REQUESTS / legacy), "req/s"
+    )
+    record_metric("trace_io", "decode_speedup_vs_legacy", round(speedup, 3), "ratio")
+    assert speedup >= 1.25, (
+        f"the live decoder is only {speedup:.2f}x the legacy codec "
+        "(guard: >= 1.25x); the raw-speed pass regressed"
+    )
+
+
+def test_sharded_analyze_identical_and_faster(trace_files):
+    """Sharded ``--jobs 4`` analytics: byte-identical always; >= 2x the
+    serial wall time when the full-size bench runs with enough CPUs."""
+    path = str(trace_files["paths"]["v3"])
+    jobs = 4
+
+    started = time.perf_counter()
+    serial = TraceAnalyticsObserver()
+    for request in TraceFileSource(path):
+        serial.observe(request)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    sharded = analyze_trace_parallel(path, jobs=jobs)
+    sharded_seconds = time.perf_counter() - started
+
+    assert sharded is not None, "the v3 bench trace must shard"
+    assert sharded.export() == serial.export(), (
+        "sharded analytics diverged from the serial scan"
+    )
+    speedup = serial_seconds / sharded_seconds
+    print(
+        f"\nsharded analyze of {REQUESTS} requests: serial={serial_seconds:.2f}s, "
+        f"jobs={jobs}: {sharded_seconds:.2f}s ({speedup:.2f}x)"
+    )
+    record_metric("trace_io", "analyze_serial_seconds", round(serial_seconds, 3), "s")
+    record_metric("trace_io", "analyze_sharded_seconds", round(sharded_seconds, 3), "s")
+    record_metric("trace_io", "analyze_sharded_speedup", round(speedup, 3), "ratio")
+    cpus = os.cpu_count() or 1
+    if os.environ.get("REPRO_BENCH_FULL", "") == "1" and cpus >= jobs:
+        assert speedup >= 2.0, (
+            f"jobs={jobs} sharded analyze is only {speedup:.2f}x serial on "
+            f"{cpus} CPUs (guard: >= 2x at full trace size)"
+        )
 
 
 def test_streaming_analytics_matches_materialised_within_memory_budget(trace_files):

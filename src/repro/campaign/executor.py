@@ -161,9 +161,21 @@ def _execute(payload: Dict[str, Any]) -> Dict[str, Any]:
             bind(index=payload["index"], cell_id=payload["cell_id"])
 
     observers: List[Observer] = list(spec_observers)
+    device_observer = None
     if device is not None:
-        observers.append(DeviceObserver(device))
-    metrics = run_trace(allocator, trace, cost_functions=(cost,), observers=observers)
+        device_observer = DeviceObserver(device)
+        observers.append(device_observer)
+    metrics = run_trace(
+        allocator,
+        trace,
+        cost_functions=(cost,),
+        observers=observers,
+        # Streaming replay workloads may request a sharded replay of their
+        # block-indexed trace ("jobs": N in the spec entry); everything else
+        # replays serially.  Inside a pooled campaign worker the sharded
+        # path falls back to serial on its own (no nested pools).
+        jobs=int(getattr(trace, "replay_jobs", 1)),
+    )
 
     # Trace-shape statistics come from the allocator, not the workload: a
     # streaming source (replay workload with "stream": true) has no len()
@@ -189,10 +201,13 @@ def _execute(payload: Dict[str, Any]) -> Dict[str, Any]:
         "moves_per_insert": round(metrics.moves_per_insert, 6),
         "max_request_moved_volume": metrics.max_request_moved_volume,
     }
-    if device is not None:
-        result["device_elapsed_ms"] = round(device.stats.elapsed_ms, 3)
-        result["device_units_written"] = device.stats.units_written
-        result["device_moves"] = device.stats.moves
+    if device_observer is not None:
+        # Read through the observer, not the local: a sharded replay adopts
+        # the merged worker device into the observer instance.
+        device_stats = device_observer.device.stats
+        result["device_elapsed_ms"] = round(device_stats.elapsed_ms, 3)
+        result["device_units_written"] = device_stats.units_written
+        result["device_moves"] = device_stats.moves
     for observer in spec_observers:
         key = getattr(observer, "export_key", None)
         export = getattr(observer, "export", None)

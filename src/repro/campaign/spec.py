@@ -309,7 +309,10 @@ def build_workload(entry: AxisEntry, seed: int, dry_run: bool = False):
     Returns a :class:`Trace` for synthetic workloads and plain ``replay``
     entries, or a :class:`~repro.workloads.TraceFileSource` for ``replay``
     entries with ``"stream": true`` — so a cell over a huge on-disk trace
-    file never materialises it.  The result's ``metadata`` is stamped with
+    file never materialises it.  A streaming replay entry may add
+    ``"jobs": N`` to shard the replay over N worker processes (block-indexed
+    v3 traces with mergeable observers only; see
+    :mod:`repro.engine.parallel`).  The result's ``metadata`` is stamped with
     the spec entry and the seed, so provenance survives into recorded trace
     files and artifacts.  ``dry_run`` only checks the entry resolves (kind +
     parameter names) and returns ``None`` without generating any requests.
@@ -365,12 +368,22 @@ def _build_workload_trace(entry: AxisEntry, seed: int, dry_run: bool):
     if kind == "replay":
         path = params.pop("path", None)
         stream = bool(params.pop("stream", False))
+        jobs = int(params.pop("jobs", 1))
         if path is None:
             raise SpecError("replay workloads need a 'path'")
+        if jobs > 1 and not stream:
+            raise SpecError(
+                "replay 'jobs' shards the on-disk file and needs 'stream': true"
+            )
         if dry_run:
             return None
         if stream:
-            return TraceFileSource(path, **params)
+            source = TraceFileSource(path, **params)
+            # Consumed by the executor: replay this source sharded over
+            # `jobs` worker processes (needs a block-indexed v3 file and
+            # mergeable observers; anything else falls back to serial).
+            source.replay_jobs = jobs
+            return source
         return load_trace(path, **params)
     known = (
         "churn",

@@ -20,9 +20,11 @@ from repro.engine.observers import (
     Observer,
     PerClassOccupancyObserver,
     SampledSeriesObserver,
+    ShardContext,
     TraceRecorderObserver,
     build_observer,
     needs_events,
+    planned_stride,
 )
 from repro.engine.analytics import (
     TraceAnalytics,
@@ -31,6 +33,15 @@ from repro.engine.analytics import (
     percentile,
     size_histogram,
     size_histogram_from_counts,
+)
+from repro.engine.parallel import (
+    SerialFallbackWarning,
+    ShardedRun,
+    analyze_trace_parallel,
+    replay_unshardable_reason,
+    run_replay_sharded,
+    shard_plan,
+    unmergeable_observers,
 )
 
 # The analytics observer lives in repro.engine.analytics (which itself
@@ -52,15 +63,24 @@ __all__ = [
     "PerClassOccupancyObserver",
     "Replayable",
     "SampledSeriesObserver",
+    "SerialFallbackWarning",
+    "ShardContext",
+    "ShardedRun",
     "SimulationEngine",
     "TraceAnalytics",
     "TraceAnalyticsObserver",
     "TraceRecorderObserver",
     "analyze_source",
+    "analyze_trace_parallel",
     "build_observer",
     "needs_events",
     "percentile",
+    "planned_stride",
     "replay",
+    "replay_unshardable_reason",
+    "run_replay_sharded",
+    "shard_plan",
     "size_histogram",
     "size_histogram_from_counts",
+    "unmergeable_observers",
 ]

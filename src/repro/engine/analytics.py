@@ -23,7 +23,12 @@ from array import array
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.engine.observers import Observer, decimate_series
+from repro.engine.observers import (
+    Observer,
+    ShardContext,
+    decimate_series,
+    planned_stride,
+)
 
 
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:
@@ -192,9 +197,20 @@ class TraceAnalyticsObserver(Observer):
     never by the request count.  A bounded live-volume series (adaptive
     stride, at most ``max_points`` samples) is kept alongside for terminal
     charts and campaign exports.
+
+    Exactly mergeable (``merge_exact = True``): every statistic is derived
+    purely from the request stream, so a sharded replay seeded from v3
+    block-entry snapshots and merged left to right is byte-identical to the
+    serial pass.  A shard seeds its live set from the snapshot with a
+    sentinel birth index (the true birth lives in an earlier shard); deaths
+    of those objects are resolved when :meth:`merge` joins the shards.
+    :meth:`result` is only meaningful on a fully merged chain (or a serial
+    observer) — an interior shard still carries unresolved sentinels.
     """
 
     export_key = "trace_analytics"
+    mergeable = True
+    merge_exact = True
 
     def __init__(self, death_buckets: int = 10, max_points: int = 512) -> None:
         if death_buckets < 1:
@@ -215,16 +231,78 @@ class TraceAnalyticsObserver(Observer):
         self._inserts = 0
         self._deletes = 0
         self._volume = 0
-        # Float accumulation in request order, matching the materialised
-        # loop bit for bit (an integer sum rounded at the end could differ
-        # once intermediate sums pass 2**53).
-        self._volume_sum = 0.0
+        # Integer accumulation of the running volume: exact at any scale and
+        # order-independent, which is what makes shard merging associative.
+        # float(sum) / total at result() time equals the historical
+        # request-order float accumulation whenever the intermediate sums
+        # stay below 2**53, and is simply more accurate beyond that.
+        self._volume_sum = 0
         self._peak = 0
         self._inserted_volume = 0
         self._delta = 0
         self.series_indices: List[int] = []
         self.series_volume: List[int] = []
         self._stride = 1
+        # Shard-mode state (unused, and empty, in a serial pass).
+        self._shard_mode = False
+        self._inserted_names: set = set()
+        self._entry_pending_deaths: List[Tuple[object, int]] = []
+
+    # ----------------------------------------------------------------- shards
+    def begin_shard(self, context: ShardContext) -> None:
+        self._shard_mode = True
+        # Count requests at global trace indices so death indices, lifetimes
+        # and series indices come out identical to the serial pass.
+        self._requests = context.start_index
+        volume = 0
+        for name, size in context.entry_live:
+            # Sentinel birth: the object was born in an earlier shard.  Its
+            # true birth index is resolved at merge time.
+            self._births[name] = -1
+            self._birth_sizes[name] = size
+            volume += size
+        self._volume = volume
+        # Sample at the serial run's final stride from the start; a shard
+        # then never exceeds max_points samples and never decimates, and the
+        # concatenated shard series equals the serial one.
+        self._stride = planned_stride(context.total_records, self.max_points)
+
+    def merge(self, other: "TraceAnalyticsObserver") -> None:
+        """Fold the next (adjacent-on-the-right) shard into this one."""
+        # Deaths of objects live at `other`'s entry: the merged prefix ends
+        # exactly where `other` starts, so their true births are in self.
+        counts = self._lifetime_counts
+        for name, death_index in other._entry_pending_deaths:
+            born = self._births.pop(name)
+            self._birth_sizes.pop(name)
+            lifetime = death_index - born
+            counts[lifetime] = counts.get(lifetime, 0) + 1
+        # Objects still live at `other`'s exit.  A sentinel birth (-1) means
+        # the object lived through the whole shard and self already holds
+        # its true birth; an in-shard birth is simply carried over.
+        for name, born in other._births.items():
+            if born >= 0:
+                self._births[name] = born
+                self._birth_sizes[name] = other._birth_sizes[name]
+        for lifetime, count in other._lifetime_counts.items():
+            counts[lifetime] = counts.get(lifetime, 0) + count
+        sizes = self._size_counts
+        for size, count in other._size_counts.items():
+            sizes[size] = sizes.get(size, 0) + count
+        self._death_indices.extend(other._death_indices)
+        self._death_sizes.extend(other._death_sizes)
+        self._inserted_names |= other._inserted_names
+        self._distinct = len(self._inserted_names)
+        self._requests = other._requests
+        self._inserts += other._inserts
+        self._deletes += other._deletes
+        self._volume = other._volume
+        self._volume_sum += other._volume_sum
+        self._peak = max(self._peak, other._peak)
+        self._inserted_volume += other._inserted_volume
+        self._delta = max(self._delta, other._delta)
+        self.series_indices.extend(other.series_indices)
+        self.series_volume.extend(other.series_volume)
 
     # ------------------------------------------------------------- ingestion
     def observe(self, request) -> None:
@@ -243,10 +321,20 @@ class TraceAnalyticsObserver(Observer):
             if name in self._births:
                 raise ValueError(f"request {index}: {name!r} inserted while active")
             size = request.size
+            if self._shard_mode:
+                # Distinct objects = distinct names ever inserted.  A shard
+                # cannot know whether a name already died in an earlier
+                # shard, so it records the names it inserted; merge counts
+                # the union, which is exactly the serial total.
+                key = str(name)
+                inserted = self._inserted_names
+                if key not in inserted:
+                    inserted.add(key)
+                    self._distinct += 1
             # A name whose first event is this insert has never died (a
             # delete needs a live object), so "not previously dead" is
             # exactly "never seen": count it once.
-            if str(name) not in self._dead_names:
+            elif str(name) not in self._dead_names:
                 self._distinct += 1
             self._births[name] = index
             self._birth_sizes[name] = size
@@ -262,11 +350,17 @@ class TraceAnalyticsObserver(Observer):
                 raise ValueError(f"request {index}: {name!r} deleted while inactive")
             born = self._births.pop(name)
             size = self._birth_sizes.pop(name)
-            lifetime = index - born
-            self._lifetime_counts[lifetime] = self._lifetime_counts.get(lifetime, 0) + 1
+            if born >= 0:
+                lifetime = index - born
+                self._lifetime_counts[lifetime] = self._lifetime_counts.get(lifetime, 0) + 1
+            else:
+                # Sentinel: born in an earlier shard.  The death index and
+                # size are exact already; the lifetime waits for merge().
+                self._entry_pending_deaths.append((name, index))
             self._death_indices.append(index)
             self._death_sizes.append(size)
-            self._dead_names.add(str(name))
+            if not self._shard_mode:
+                self._dead_names.add(str(name))
             self._deletes += 1
             self._volume -= size
         if self._volume > self._peak:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import os
 import time
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.events import FlushRecord, MoveEvent, RequestRecord
@@ -31,11 +32,81 @@ from repro.obs.telemetry import get_telemetry
 from repro.workloads.base import Request
 
 
+@dataclass
+class ShardContext:
+    """What a shard-replay worker knows about its slice of the trace.
+
+    Handed to every mergeable observer via :meth:`Observer.begin_shard`
+    before the shard's requests are replayed.  ``entry_live`` is the
+    block-entry snapshot of the v3 trace — the exact ``(name, size)``
+    objects live when the shard starts — which is what lets stream-derived
+    observers reproduce the serial state without seeing the prefix.
+    """
+
+    shard: int  # this shard's position in the fan-out (0-based)
+    shards: int  # total number of shards
+    start_index: int  # global index of the shard's first request
+    records: int  # requests in this shard
+    total_records: int  # requests in the whole trace
+    entry_live: List[Tuple[str, int]] = field(default_factory=list)
+
+
+def planned_stride(total: int, max_points: int, every: int = 0) -> int:
+    """The stride the adaptive sampler ends on after ``total`` requests.
+
+    The serial sampler records every ``stride``-th request and, whenever it
+    holds more than ``max_points`` samples, drops every other one and
+    doubles the stride — so at any moment its buffer is exactly the
+    multiples of the current stride.  The (max_points+1)-th multiple is
+    what triggers each doubling, hence: the final stride is the smallest
+    power of two ``s`` with ``max_points * s >= total``.  Shard workers
+    sample at this stride from the start (at global indices), which makes
+    the concatenated shard series byte-identical to the serial one.
+    """
+    if every:
+        return every
+    stride = 1
+    while max_points * stride < total:
+        stride *= 2
+    return stride
+
+
 class Observer:
     """No-op base class; subclass and override the hooks you need."""
 
+    #: Whether shard-replay results of this observer can be combined via
+    #: :meth:`merge`.  Order-dependent observers (anything whose output
+    #: depends on the allocator's full placement history, like a footprint
+    #: series) leave this False, which forces serial replay.
+    mergeable = False
+    #: True when a merged shard replay is byte-identical to the serial one
+    #: (the observer is derived purely from the request stream).  False for
+    #: mergeable observers with documented sharded-reduction semantics
+    #: (per-shard allocator state combined by sum/max/concat).
+    merge_exact = False
+
     def on_attach(self, allocator) -> None:
         """Called once when the observer joins a replay, before any request."""
+
+    def begin_shard(self, context: ShardContext) -> None:
+        """Called before a shard replay, instead of seeing the trace prefix.
+
+        Mergeable observers use ``context`` (global start index, total
+        request count, block-entry live snapshot) to set up state exactly
+        as if the prefix had been replayed.  Only called when
+        :attr:`mergeable` is True.
+        """
+
+    def merge(self, other: "Observer") -> None:
+        """Fold the next shard's finished observer into this one, in order.
+
+        Shards must be merged left to right starting from shard 0; the
+        result accumulates in ``self``.  Only called when
+        :attr:`mergeable` is True.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement merge()"
+        )
 
     def on_request(self, record: RequestRecord) -> None:
         """Called after every served request with its full record."""
@@ -81,10 +152,62 @@ class MetricsObserver(Observer):
     Passive: all numbers are read from :class:`~repro.core.stats.AllocatorStats`
     (which the allocator maintains even on the zero-instrumentation fast
     path), so attaching this observer costs nothing per request.
+
+    Mergeable with sharded-reduction semantics (``merge_exact = False``):
+    counters (moves, moved volume, checkpoints, flushes) and the footprint
+    ratio samples are exact per-shard deltas — each worker subtracts the
+    stats accrued while seeding its allocator from the block-entry snapshot
+    — combined by sum; maxima by max; final volume/footprint come from the
+    last shard.  The values still describe per-shard allocators that each
+    started from a freshly seeded layout, so they approximate (rather than
+    reproduce) the serial allocator's numbers.
     """
+
+    mergeable = True
+
+    #: snapshot keys combined by summation across shards
+    _SUM_KEYS = (
+        "total_moves",
+        "total_moved_volume",
+        "total_checkpoints",
+        "flushes",
+    )
+    #: snapshot keys combined by max across shards
+    _MAX_KEYS = (
+        "max_footprint",
+        "max_footprint_ratio",
+        "max_request_moved_volume",
+        "max_request_checkpoints",
+    )
 
     def __init__(self) -> None:
         self.snapshot: Dict[str, Any] = {}
+        self._shard: Optional[ShardContext] = None
+        self._baseline: Optional[Dict[str, Any]] = None
+        # Per-shard deltas retained for merging (shard mode only).
+        self._inserts = 0
+        self._ratio_sum = 0.0
+        self._ratio_samples = 0
+
+    def begin_shard(self, context: ShardContext) -> None:
+        self._shard = context
+
+    def on_attach(self, allocator) -> None:
+        if self._shard is None:
+            return
+        # The worker seeded the allocator from the block-entry snapshot
+        # before the engine run; capture the stats those inserts accrued so
+        # on_finish can report deltas for the shard's own requests only.
+        stats = allocator.stats
+        self._baseline = {
+            "inserts": stats.inserts,
+            "total_moves": stats.total_moves,
+            "total_moved_volume": stats.total_moved_volume,
+            "total_checkpoints": stats.checkpoints,
+            "flushes": stats.flushes,
+            "ratio_sum": stats.footprint_ratio_sum,
+            "ratio_samples": stats.footprint_ratio_samples,
+        }
 
     def on_finish(self, allocator) -> None:
         stats = allocator.stats
@@ -102,6 +225,42 @@ class MetricsObserver(Observer):
             "total_checkpoints": stats.checkpoints,
             "flushes": stats.flushes,
         }
+        base = self._baseline
+        if base is None:
+            return
+        # Shard mode: reduce every counter to the shard's own delta.
+        snap = self.snapshot
+        self._inserts = stats.inserts - base["inserts"]
+        self._ratio_sum = stats.footprint_ratio_sum - base["ratio_sum"]
+        self._ratio_samples = stats.footprint_ratio_samples - base["ratio_samples"]
+        snap["total_moves"] = stats.total_moves - base["total_moves"]
+        snap["total_moved_volume"] = stats.total_moved_volume - base["total_moved_volume"]
+        snap["total_checkpoints"] = stats.checkpoints - base["total_checkpoints"]
+        snap["flushes"] = stats.flushes - base["flushes"]
+        snap["mean_footprint_ratio"] = (
+            self._ratio_sum / self._ratio_samples if self._ratio_samples else 0.0
+        )
+        snap["moves_per_insert"] = (
+            snap["total_moves"] / self._inserts if self._inserts else 0.0
+        )
+
+    def merge(self, other: "MetricsObserver") -> None:
+        left, right = self.snapshot, other.snapshot
+        for key in self._SUM_KEYS:
+            left[key] += right[key]
+        for key in self._MAX_KEYS:
+            left[key] = max(left[key], right[key])
+        left["final_volume"] = right["final_volume"]
+        left["final_footprint"] = right["final_footprint"]
+        self._inserts += other._inserts
+        self._ratio_sum += other._ratio_sum
+        self._ratio_samples += other._ratio_samples
+        left["mean_footprint_ratio"] = (
+            self._ratio_sum / self._ratio_samples if self._ratio_samples else 0.0
+        )
+        left["moves_per_insert"] = (
+            left["total_moves"] / self._inserts if self._inserts else 0.0
+        )
 
 
 class CostObserver(Observer):
@@ -110,15 +269,71 @@ class CostObserver(Observer):
     Passive: cost ratios are derived from the size histograms in the
     allocator's stats, which is exactly what cost obliviousness promises —
     the replay never needs to know which cost function applies.
+
+    Mergeable with sharded-reduction semantics (``merge_exact = False``):
+    each shard keeps its delta size histograms (seeding inserts subtracted),
+    merge sums the histograms and recomputes the ratios.  The allocation
+    histogram is then exactly the serial one (allocations follow the request
+    stream); only the move histogram reflects per-shard allocator state.
     """
+
+    mergeable = True
 
     def __init__(self, cost_functions: Sequence = ()) -> None:
         self.cost_functions = tuple(cost_functions)
         self.cost_ratios: Dict[str, float] = {}
+        self._shard: Optional[ShardContext] = None
+        self._base_allocated: Optional[Dict[int, int]] = None
+        self._base_moved: Optional[Dict[int, int]] = None
+        # Delta histograms retained for merging (shard mode only).
+        self._allocated: Dict[int, int] = {}
+        self._moved: Dict[int, int] = {}
+
+    def begin_shard(self, context: ShardContext) -> None:
+        self._shard = context
+
+    def on_attach(self, allocator) -> None:
+        if self._shard is None:
+            return
+        stats = allocator.stats
+        self._base_allocated = dict(stats.allocated_sizes)
+        self._base_moved = dict(stats.moved_sizes)
+
+    @staticmethod
+    def _delta(current, baseline: Dict[int, int]) -> Dict[int, int]:
+        out = {}
+        for size, count in current.items():
+            count -= baseline.get(size, 0)
+            if count:
+                out[size] = count
+        return out
+
+    def _ratio(self, cost_function) -> float:
+        allocation = sum(
+            cost_function(size) * count for size, count in self._allocated.items()
+        )
+        if allocation == 0:
+            return 0.0
+        reallocation = sum(
+            cost_function(size) * count for size, count in self._moved.items()
+        )
+        return reallocation / allocation
 
     def on_finish(self, allocator) -> None:
         stats = allocator.stats
-        self.cost_ratios = {f.name: stats.cost_ratio(f) for f in self.cost_functions}
+        if self._base_allocated is None:
+            self.cost_ratios = {f.name: stats.cost_ratio(f) for f in self.cost_functions}
+            return
+        self._allocated = self._delta(stats.allocated_sizes, self._base_allocated)
+        self._moved = self._delta(stats.moved_sizes, self._base_moved)
+        self.cost_ratios = {f.name: self._ratio(f) for f in self.cost_functions}
+
+    def merge(self, other: "CostObserver") -> None:
+        for size, count in other._allocated.items():
+            self._allocated[size] = self._allocated.get(size, 0) + count
+        for size, count in other._moved.items():
+            self._moved[size] = self._moved.get(size, 0) + count
+        self.cost_ratios = {f.name: self._ratio(f) for f in self.cost_functions}
 
 
 # ---------------------------------------------------------------------- series
@@ -149,6 +364,13 @@ class SampledSeriesObserver(Observer):
     Subclasses implement ``_sample`` (append one sample to each of their
     series lists) and ``_series`` (return those lists so decimation keeps
     them aligned with :attr:`indices`).
+
+    In shard mode (:meth:`begin_shard`) the observer counts requests at
+    global trace indices and samples at the serial run's *final* stride
+    (:func:`planned_stride`) from the start, so decimation never triggers
+    and concatenating the shard series left to right reproduces the serial
+    sample indices exactly.  Whether the sampled *values* match the serial
+    run depends on the subclass (``merge_exact``).
     """
 
     def __init__(self, every: int = 0, max_points: int = 512) -> None:
@@ -161,6 +383,7 @@ class SampledSeriesObserver(Observer):
         self.indices: List[int] = []
         self._seen = 0
         self._stride = self.every if self.every else 1
+        self._shard: Optional[ShardContext] = None
 
     def _sample(self, record: RequestRecord) -> None:
         """Append one sample to every series list (subclass hook)."""
@@ -170,6 +393,17 @@ class SampledSeriesObserver(Observer):
         """The sample lists decimated alongside ``indices`` (subclass hook)."""
         raise NotImplementedError
 
+    def begin_shard(self, context: ShardContext) -> None:
+        self._shard = context
+        self._seen = context.start_index
+        self._stride = planned_stride(context.total_records, self.max_points, self.every)
+
+    def merge(self, other: "SampledSeriesObserver") -> None:
+        self.indices.extend(other.indices)
+        for mine, theirs in zip(self._series(), other._series()):
+            mine.extend(theirs)
+        self._seen = other._seen
+
     def on_request(self, record: RequestRecord) -> None:
         index = self._seen
         self._seen += 1
@@ -177,8 +411,10 @@ class SampledSeriesObserver(Observer):
             return
         self.indices.append(index)
         self._sample(record)
-        if not self.every and len(self.indices) > self.max_points:
-            # Adaptive mode: decimate in place and double the stride.
+        if not self.every and self._shard is None and len(self.indices) > self.max_points:
+            # Adaptive mode: decimate in place and double the stride.  Shard
+            # mode already samples at the final stride, so a shard never
+            # collects more than max_points samples and never decimates.
             decimate_series(self.indices, self._series())
             self._stride *= 2
 
@@ -224,8 +460,14 @@ class GapHistogramObserver(SampledSeriesObserver):
     :class:`~repro.storage.gap_index.GapIndex` gaps via ``free_extents()``
     (an ordered O(n) walk); every other allocator falls back to the address
     space's gaps below the footprint (``space.free_gaps()``).
+
+    Mergeable with sharded-reduction semantics (``merge_exact = False``):
+    shard series concatenate at the serial sample indices, but each sample
+    reads a per-shard allocator whose layout started from a freshly seeded
+    block-entry snapshot, so the histograms approximate the serial ones.
     """
 
+    mergeable = True
     export_key = "gap_histogram"
 
     def __init__(self, every: int = 0, max_points: int = 128) -> None:
@@ -260,6 +502,11 @@ class GapHistogramObserver(SampledSeriesObserver):
     def _series(self) -> Tuple[List, ...]:
         return (self.counts, self.total_gaps, self.free_volume)
 
+    def on_finish(self, allocator) -> None:
+        # Sampling is over; dropping the allocator reference keeps the
+        # observer small when it is pickled back from a shard worker.
+        self._allocator = None
+
     def export(self) -> Dict[str, Any]:
         """Bucket-aligned count rows per sample (JSON-serialisable)."""
         exponents = sorted({e for sample in self.counts for e in sample})
@@ -277,8 +524,14 @@ class PerClassOccupancyObserver(SampledSeriesObserver):
     Derived purely from the request stream (insert adds to the class of the
     object's size, delete removes), so it works identically on every
     allocator and never touches allocator internals.
+
+    Exactly mergeable: a shard seeds its live-class state from the
+    block-entry snapshot and samples at the serial stride, so merged shard
+    results are byte-identical to a serial replay.
     """
 
+    mergeable = True
+    merge_exact = True
     export_key = "per_class_occupancy"
 
     def __init__(self, every: int = 0, max_points: int = 128) -> None:
@@ -287,6 +540,13 @@ class PerClassOccupancyObserver(SampledSeriesObserver):
         self._live_volumes: Dict[int, int] = {}
         self.counts: List[Dict[int, int]] = []
         self.volumes: List[Dict[int, int]] = []
+
+    def begin_shard(self, context: ShardContext) -> None:
+        super().begin_shard(context)
+        for _name, size in context.entry_live:
+            exponent = size.bit_length() - 1
+            self._live_counts[exponent] = self._live_counts.get(exponent, 0) + 1
+            self._live_volumes[exponent] = self._live_volumes.get(exponent, 0) + size
 
     def on_request(self, record: RequestRecord) -> None:
         exponent = record.size.bit_length() - 1
@@ -448,10 +708,36 @@ class DeviceObserver(Observer):
     a device move (read + write) — including the moves performed while a
     pending deamortized flush is drained at the end of the replay, so the
     device sees exactly the moves the allocator's stats count.
+
+    Mergeable (inexact): under a sharded replay each shard's device times
+    its own writes and moves; merging sums the counters and concatenates
+    the per-operation timings.  Write traffic is stream-derived and thus
+    exact; move traffic (and SSD erase accounting) reflects each shard's
+    freshly seeded allocator.
     """
+
+    mergeable = True
 
     def __init__(self, device) -> None:
         self.device = device
+
+    def merge(self, other: "DeviceObserver") -> None:
+        mine = self.device.stats
+        theirs = other.device.stats
+        mine.reads += theirs.reads
+        mine.writes += theirs.writes
+        mine.moves += theirs.moves
+        mine.units_read += theirs.units_read
+        mine.units_written += theirs.units_written
+        mine.elapsed_ms += theirs.elapsed_ms
+        mine.per_operation_ms.extend(theirs.per_operation_ms)
+        for attr in ("dirty_pages", "erases"):  # SolidStateModel wear state
+            if hasattr(self.device, attr) and hasattr(other.device, attr):
+                setattr(
+                    self.device,
+                    attr,
+                    getattr(self.device, attr) + getattr(other.device, attr),
+                )
 
     def on_request(self, record: RequestRecord) -> None:
         if record.op == "insert":

@@ -12,6 +12,7 @@ the allocator's zero-instrumentation fast path.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -84,6 +85,7 @@ def run_trace(
     finish_pending: bool = True,
     observers: Sequence[Observer] = (),
     max_series_points: int = 0,
+    jobs: int = 1,
 ) -> ExecutionMetrics:
     """Replay ``trace`` on ``allocator`` and return the collected metrics.
 
@@ -111,6 +113,15 @@ def run_trace(
     max_series_points:
         If positive (and ``sample_every`` is zero), collect an adaptively
         downsampled footprint series bounded to this many points.
+    jobs:
+        If greater than one, replay the trace sharded over that many worker
+        processes.  Requires ``trace`` to be a
+        :class:`~repro.workloads.replay.TraceFileSource` over a
+        block-indexed (plain-container v3) file and every wired observer to
+        be mergeable; otherwise the replay falls back to serial with a
+        :class:`~repro.engine.SerialFallbackWarning` naming the reason.
+        Note the footprint series is order-dependent, so requesting
+        ``sample_every``/``max_series_points`` also forces serial.
     """
     metrics_observer = MetricsObserver()
     cost_observer = CostObserver(cost_functions)
@@ -123,6 +134,30 @@ def run_trace(
     if series_observer is not None:
         wired.append(series_observer)
     wired.extend(observers)
+
+    if jobs > 1:
+        from repro.engine import SerialFallbackWarning, run_replay_sharded
+        from repro.engine.parallel import replay_unshardable_reason
+
+        sharded = run_replay_sharded(
+            allocator, trace, wired, jobs, finish_pending=finish_pending
+        )
+        if sharded is not None:
+            metrics_observer, cost_observer = sharded.observers[0], sharded.observers[1]
+            return ExecutionMetrics(
+                allocator=allocator.describe(),
+                trace=getattr(trace, "label", "trace"),
+                requests=sharded.requests,
+                elapsed_seconds=sharded.elapsed_seconds,
+                cost_ratios=cost_observer.cost_ratios,
+                **metrics_observer.snapshot,
+            )
+        reason = replay_unshardable_reason(trace, wired) or "allocator or observers cannot be pickled across processes"
+        warnings.warn(
+            f"parallel replay (jobs={jobs}) fell back to serial: {reason}",
+            SerialFallbackWarning,
+            stacklevel=2,
+        )
 
     run = SimulationEngine(allocator, wired, finish_pending=finish_pending).run(trace)
 

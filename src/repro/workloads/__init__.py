@@ -33,7 +33,15 @@ from repro.workloads.adversarial import (
     fragmentation_attack_trace,
     sawtooth_trace,
 )
-from repro.workloads.binary import BINARY_FORMAT_VERSION, BinaryTraceWriter, TraceFormatError
+from repro.workloads.binary import (
+    BINARY_FORMAT_VERSION,
+    DEFAULT_BLOCK_RECORDS,
+    BinaryTraceWriter,
+    BlockIndex,
+    TraceBlock,
+    TraceFormatError,
+    read_block_index,
+)
 from repro.workloads.replay import (
     KNOWN_TRACE_VERSIONS,
     TRACE_FORMAT_VERSION,
@@ -78,7 +86,11 @@ __all__ = [
     "TraceInfo",
     "TraceFormatError",
     "BinaryTraceWriter",
+    "BlockIndex",
+    "TraceBlock",
+    "read_block_index",
     "TRACE_FORMAT_VERSION",
     "BINARY_FORMAT_VERSION",
     "KNOWN_TRACE_VERSIONS",
+    "DEFAULT_BLOCK_RECORDS",
 ]

@@ -1,4 +1,4 @@
-"""The binary v2 trace container: compact, streamable, optionally compressed.
+"""The binary trace container: compact, streamable, optionally compressed.
 
 Layout of a v2 file::
 
@@ -36,10 +36,46 @@ the trailer (or whose record count disagrees with it) reports a truncated
 file instead of silently yielding a prefix.  All varints are unsigned
 LEB128.
 
+v3: seekable blocks
+-------------------
+
+A v3 file shares the magic/flags/header layout (version varint 3; flag
+bit 0 now means *per-block* zlib) but groups records into self-contained
+**blocks** that each restart the interned-name table::
+
+    0x05  BLOCK:  varint record-count      records encoded in this block
+                  varint entry-count       objects live at block entry
+                  varint snapshot-len      byte length of the snapshot
+                  snapshot                 entry-count x (front-coded name,
+                                           varint size), sorted by UTF-8
+                                           name bytes, front-coded from ""
+                  varint body-len          on-disk body bytes
+                  body                     records (zlib-compressed per
+                                           block when flagged)
+
+    0x00  END:    varint total record count
+                  varint block count
+                  block count x (varint offset, varint record-count)
+                    - offset of the 0x05 tag: absolute for the first
+                      block, delta from the previous offset after that
+                  8 bytes   little-endian absolute offset of the END tag
+                  8 bytes   footer magic b"\\x93RPT3IDX"
+
+Each block re-binds the snapshot names to ids ``0..entry_count-1`` in
+snapshot order (next fresh id = entry_count, free-id pool empty) and
+front-codes record names starting from the *last* snapshot name, so a
+block can be decoded knowing nothing but its own bytes.  The fixed-size
+trailer lets a reader seek straight to the footer, then to any block —
+that is what :func:`read_block_index` and sharded parallel replay build
+on.  Truncation stays loud: every byte before the trailer is needed to
+reach the END record, the footer must agree with the blocks actually
+read, and the trailer offset must point back at the END tag.
+
 Everything here is streaming: :class:`BinaryTraceWriter` and
 :func:`iter_binary_records` hold an I/O buffer plus per-*live*-object state
-(the id table and free-id stack), never anything proportional to the trace
-length or the number of distinct names.
+(the id table and free-id stack, and for v3 one block's worth of bytes),
+never anything proportional to the trace length or the number of distinct
+names.
 """
 
 from __future__ import annotations
@@ -48,15 +84,19 @@ import json
 import os
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.obs.telemetry import get_telemetry
-from repro.workloads.base import Request
+from repro.workloads.base import DELETE, INSERT, Request
 
-#: First bytes of every v2 trace file.
+#: First bytes of every binary trace file.
 MAGIC = b"\x93RPTRACE"
-#: The container version this module reads and writes.
+#: The container version written when none is requested.
 BINARY_FORMAT_VERSION = 2
+#: Every binary container version this module reads.
+KNOWN_BINARY_VERSIONS = (2, 3)
+#: Records per v3 block when the writer is not told otherwise.
+DEFAULT_BLOCK_RECORDS = 65536
 
 _FLAG_ZLIB = 0x01
 
@@ -65,8 +105,19 @@ _TAG_INSERT_NEW = 0x01
 _TAG_INSERT_REF = 0x02
 _TAG_DELETE_REF = 0x03
 _TAG_DELETE_NEW = 0x04
+_TAG_BLOCK = 0x05
+
+_FOOTER_MAGIC = b"\x93RPT3IDX"
+_TRAILER_LEN = 8 + len(_FOOTER_MAGIC)
 
 _CHUNK = 64 * 1024
+
+# Hot-loop aliases: one LOAD_GLOBAL each instead of attribute lookups per
+# record.  Requests are built via object.__new__ so the decode loop pays no
+# dataclass __init__/__post_init__ frames; the loop re-checks what those
+# would have (op is fixed, insert sizes are validated explicitly).
+_new_request = object.__new__
+_set_attr = object.__setattr__
 
 
 class TraceFormatError(ValueError):
@@ -89,91 +140,68 @@ def encode_varint(value: int) -> bytes:
 
 
 # --------------------------------------------------------------------- reader
-class _RecordStream:
-    """Bounded-buffer reader over a (possibly zlib-compressed) record body."""
+class _BodySource:
+    """Chunked supplier of decompressed v2 body bytes for the decode loop."""
+
+    __slots__ = ("_handle", "_path", "_decompressor", "_input_done", "raw_bytes")
 
     def __init__(self, handle, compressed: bool, path) -> None:
         self._handle = handle
         self._path = path
         self._decompressor = zlib.decompressobj() if compressed else None
-        self._buffer = b""
-        self._pos = 0
         self._input_done = False
         self.raw_bytes = 0  # compressed/on-disk body bytes consumed
 
-    def _fill(self, need: int) -> None:
-        while len(self._buffer) - self._pos < need and not self._input_done:
+    def next_chunk(self) -> bytes:
+        """The next chunk of (decompressed) body bytes; ``b""`` at the end."""
+        decompressor = self._decompressor
+        while not self._input_done:
             chunk = self._handle.read(_CHUNK)
             self.raw_bytes += len(chunk)
             if not chunk:
                 self._input_done = True
-                if self._decompressor is not None:
+                if decompressor is not None:
                     try:
-                        tail = self._decompressor.flush()
+                        tail = decompressor.flush()
                     except zlib.error as error:
                         raise TraceFormatError(
                             f"{self._path}: truncated or corrupt zlib record body ({error})"
                         ) from error
                     # flush() does not verify stream completeness; a clipped
                     # final block or checksum only shows up as eof == False.
-                    if not self._decompressor.eof:
+                    if not decompressor.eof:
                         raise TraceFormatError(
                             f"{self._path}: truncated zlib record body "
                             "(compressed stream ends mid-block)"
                         )
                     if tail:
-                        self._buffer = self._buffer[self._pos:] + tail
-                        self._pos = 0
-                break
-            if self._decompressor is not None:
+                        return tail
+                return b""
+            if decompressor is not None:
                 try:
-                    chunk = self._decompressor.decompress(chunk)
+                    chunk = decompressor.decompress(chunk)
                 except zlib.error as error:
                     raise TraceFormatError(
                         f"{self._path}: corrupt zlib record body ({error})"
                     ) from error
-            self._buffer = self._buffer[self._pos:] + chunk
-            self._pos = 0
+                if not chunk:
+                    continue  # compressed input consumed, no output yet
+            return chunk
+        return b""
 
-    def at_eof(self) -> bool:
-        self._fill(1)
-        if len(self._buffer) - self._pos >= 1:
-            return False
+    def check_no_trailing(self) -> None:
+        """After the END trailer: any further body or container bytes are an error."""
+        if self.next_chunk():
+            raise TraceFormatError(f"{self._path}: trailing data after the END trailer")
         if self._decompressor is not None and self._decompressor.unused_data:
             raise TraceFormatError(
                 f"{self._path}: trailing data after the compressed record body"
             )
-        return True
-
-    def read_exact(self, count: int, what: str) -> bytes:
-        self._fill(count)
-        if len(self._buffer) - self._pos < count:
-            raise TraceFormatError(
-                f"{self._path}: truncated trace file (unexpected end of data "
-                f"while reading {what})"
-            )
-        start = self._pos
-        self._pos += count
-        return self._buffer[start:self._pos]
-
-    def read_varint(self, what: str) -> int:
-        value = 0
-        shift = 0
-        while True:
-            byte = self.read_exact(1, what)[0]
-            value |= (byte & 0x7F) << shift
-            if not byte & 0x80:
-                return value
-            shift += 7
-            if shift > 63:
-                raise TraceFormatError(
-                    f"{self._path}: corrupt varint while reading {what} (over 9 bytes)"
-                )
 
 
 @dataclass
 class BinaryHeader:
-    """The decoded fixed header of a v2 trace file."""
+    """The decoded fixed header of a binary (v2/v3) trace file."""
 
     version: int
     compressed: bool
@@ -181,11 +209,11 @@ class BinaryHeader:
     metadata: Dict[str, Any] = field(default_factory=dict)
 
 
-# These two header helpers intentionally mirror _RecordStream.read_exact /
-# read_varint: the header must be read byte-exactly from the raw handle (no
-# buffered overshoot into the body), while the body reader is specialised
-# for bulk chunked/decompressed input on the hot path.  Keep their guards
-# and error wording in sync.
+# These two header helpers intentionally mirror the body decode loop's
+# bounds checks: the header and the v3 block structure must be read
+# byte-exactly from the raw handle (no buffered overshoot), while the
+# record decode is specialised for bulk buffered input on the hot path.
+# Keep their guards and error wording in sync.
 def _read_exact_from(handle, count: int, what: str, path) -> bytes:
     data = handle.read(count)
     if len(data) != count:
@@ -211,7 +239,7 @@ def _read_varint_from(handle, what: str, path) -> int:
 
 
 def read_binary_header(handle, path) -> BinaryHeader:
-    """Decode the v2 header from ``handle`` (positioned at offset 0).
+    """Decode the binary header from ``handle`` (positioned at offset 0).
 
     The header is read byte-exactly, so ``handle`` is left positioned at the
     first body byte.  Raises :class:`TraceFormatError` on bad magic, an
@@ -220,32 +248,36 @@ def read_binary_header(handle, path) -> BinaryHeader:
     magic = handle.read(len(MAGIC))
     if magic != MAGIC:
         raise TraceFormatError(
-            f"{path}: bad magic {magic!r}; not a v2 binary trace"
+            f"{path}: bad magic {magic!r}; not a v2/v3 binary trace"
         )
     version = _read_varint_from(handle, "format version", path)
-    if version != BINARY_FORMAT_VERSION:
+    if version not in KNOWN_BINARY_VERSIONS:
         raise TraceFormatError(
             f"{path}: unsupported binary trace version {version}; "
-            f"this reader knows v{BINARY_FORMAT_VERSION}"
+            f"this reader knows v2 and v3"
         )
     flags = _read_exact_from(handle, 1, "flags", path)[0]
     if flags & ~_FLAG_ZLIB:
-        raise TraceFormatError(f"{path}: unknown flag bits 0x{flags:02x} in v2 header")
+        raise TraceFormatError(
+            f"{path}: unknown flag bits 0x{flags:02x} in v{version} header"
+        )
     header_length = _read_varint_from(handle, "header length", path)
     header_bytes = _read_exact_from(handle, header_length, "JSON header block", path)
     try:
         header = json.loads(header_bytes.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise TraceFormatError(f"{path}: malformed v2 JSON header block: {error}") from error
+        raise TraceFormatError(
+            f"{path}: malformed v{version} JSON header block: {error}"
+        ) from error
     if not isinstance(header, dict):
         raise TraceFormatError(
-            f"{path}: v2 header block must be a JSON object, "
+            f"{path}: v{version} header block must be a JSON object, "
             f"got {type(header).__name__}"
         )
     metadata = header.get("meta", {})
     if not isinstance(metadata, dict):
         raise TraceFormatError(
-            f"{path}: v2 trace metadata must be a JSON object, "
+            f"{path}: v{version} trace metadata must be a JSON object, "
             f"got {type(metadata).__name__}"
         )
     return BinaryHeader(
@@ -256,86 +288,142 @@ def read_binary_header(handle, path) -> BinaryHeader:
     )
 
 
+def _decode_varint_slow(buf, pos: int, first: int, path, count: int):
+    """Continuation of an inline varint decode whose first byte had the
+    high bit set.  Raises IndexError past the end of ``buf`` (the caller's
+    refill/truncation logic handles it)."""
+    value = first & 0x7F
+    shift = 7
+    while True:
+        byte = buf[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if byte < 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise TraceFormatError(
+                f"{path}: record {count}: corrupt varint (over 9 bytes)"
+            )
+
+
 def iter_binary_records(handle, header: BinaryHeader, path) -> Iterator[Request]:
-    """Yield the requests of a v2 body one at a time (bounded memory).
+    """Yield the requests of a v2/v3 body one at a time (bounded memory).
 
     ``handle`` must be positioned at the first body byte (where
     :func:`read_binary_header` leaves it).  Verifies the END trailer and the
     record count, so truncated and over-long files raise
     :class:`TraceFormatError` instead of yielding a silent prefix.
     """
-    stream = _RecordStream(handle, compressed=header.compressed, path=path)
+    if header.version == 3:
+        yield from _iter_v3_records(handle, header, path)
+        return
+
+    source = _BodySource(handle, compressed=header.compressed, path=path)
     bound: Dict[int, str] = {}  # live name-id bindings
-    free_ids: list = []  # LIFO pool mirroring the writer's id assignment
+    free_ids: List[int] = []  # LIFO pool mirroring the writer's id assignment
     next_id = 0
     previous_name = b""  # front-coding state
     count = 0
+    buf = b""
+    pos = 0
 
-    def read_name() -> str:
-        nonlocal previous_name
-        prefix_length = stream.read_varint("name prefix length")
-        if prefix_length > len(previous_name):
-            raise TraceFormatError(
-                f"{path}: record {count}: name prefix length {prefix_length} exceeds "
-                f"the previous name's {len(previous_name)} bytes"
-            )
-        suffix_length = stream.read_varint("name suffix length")
-        raw = previous_name[:prefix_length] + stream.read_exact(suffix_length, "name bytes")
-        previous_name = raw
-        try:
-            return raw.decode("utf-8")
-        except UnicodeDecodeError as error:
-            raise TraceFormatError(f"{path}: record {count}: undecodable name: {error}") from error
-
-    def ref_name() -> str:
-        name_id = stream.read_varint("name id")
-        try:
-            return bound[name_id]
-        except KeyError:
-            raise TraceFormatError(
-                f"{path}: record {count}: name id {name_id} references an unbound name "
-                "(never inserted, or already deleted)"
-            ) from None
-
+    # One iteration decodes one record from the local buffer with inline
+    # varint fast paths; running off the buffer raises IndexError, the
+    # record is rewound, the buffer refilled, and the record retried.
+    # State (count, bindings, front-coding) is only touched after a record
+    # decodes completely, so a retry never replays a half-applied record.
     while True:
-        if stream.at_eof():
-            raise TraceFormatError(
-                f"{path}: truncated trace file (end of data before the END trailer; "
-                f"{count} record(s) read)"
-            )
-        tag = stream.read_exact(1, "record tag")[0]
-        if tag == _TAG_END:
-            declared = stream.read_varint("END trailer record count")
-            if declared != count:
-                raise TraceFormatError(
-                    f"{path}: record count mismatch: END trailer declares {declared}, "
-                    f"read {count}"
-                )
-            if not stream.at_eof():
-                raise TraceFormatError(f"{path}: trailing data after the END trailer")
-            # Cold path: counters are pushed once per completed file, so the
-            # per-record decode loop never touches telemetry.
-            telemetry = get_telemetry()
-            if telemetry.enabled:
-                telemetry.add("trace_io.decode_records", count)
-                telemetry.add("trace_io.decode_bytes", stream.raw_bytes)
-                telemetry.add("trace_io.decode_files")
-            return
-        count += 1
-        if tag == _TAG_INSERT_NEW:
-            name = read_name()
-            if free_ids:
-                name_id = free_ids.pop()
+        record_start = pos
+        try:
+            tag = buf[pos]
+            pos += 1
+            if tag == _TAG_INSERT_NEW or tag == _TAG_DELETE_NEW:
+                prefix = buf[pos]
+                pos += 1
+                if prefix >= 0x80:
+                    prefix, pos = _decode_varint_slow(buf, pos, prefix, path, count)
+                suffix_len = buf[pos]
+                pos += 1
+                if suffix_len >= 0x80:
+                    suffix_len, pos = _decode_varint_slow(buf, pos, suffix_len, path, count)
+                end = pos + suffix_len
+                if end > len(buf):
+                    raise IndexError
+                suffix = buf[pos:end]
+                pos = end
+                if tag == _TAG_INSERT_NEW:
+                    size = buf[pos]
+                    pos += 1
+                    if size >= 0x80:
+                        size, pos = _decode_varint_slow(buf, pos, size, path, count)
+                else:
+                    size = 0
+            elif tag == _TAG_DELETE_REF or tag == _TAG_INSERT_REF:
+                name_id = buf[pos]
+                pos += 1
+                if name_id >= 0x80:
+                    name_id, pos = _decode_varint_slow(buf, pos, name_id, path, count)
+                if tag == _TAG_INSERT_REF:
+                    size = buf[pos]
+                    pos += 1
+                    if size >= 0x80:
+                        size, pos = _decode_varint_slow(buf, pos, size, path, count)
+            elif tag == _TAG_END:
+                declared = buf[pos]
+                pos += 1
+                if declared >= 0x80:
+                    declared, pos = _decode_varint_slow(buf, pos, declared, path, count)
             else:
-                name_id = next_id
+                raise TraceFormatError(
+                    f"{path}: record {count + 1}: unknown record tag 0x{tag:02x}"
+                )
+        except IndexError:
+            chunk = source.next_chunk()
+            if not chunk:
+                raise TraceFormatError(
+                    f"{path}: truncated trace file (end of data before the END "
+                    f"trailer; {count} record(s) read)"
+                ) from None
+            buf = buf[record_start:] + chunk
+            pos = 0
+            continue
+
+        # The record decoded completely; apply it.
+        if tag == _TAG_INSERT_NEW:
+            count += 1
+            if prefix:
+                if prefix > len(previous_name):
+                    raise TraceFormatError(
+                        f"{path}: record {count}: name prefix length {prefix} exceeds "
+                        f"the previous name's {len(previous_name)} bytes"
+                    )
+                raw = previous_name[:prefix] + suffix
+            else:
+                raw = suffix
+            previous_name = raw
+            try:
+                name = raw.decode("utf-8")
+            except UnicodeDecodeError as error:
+                raise TraceFormatError(
+                    f"{path}: record {count}: undecodable name: {error}"
+                ) from error
+            if free_ids:
+                bound[free_ids.pop()] = name
+            else:
+                bound[next_id] = name
                 next_id += 1
-            bound[name_id] = name
-            yield Request.insert(name, stream.read_varint("insert size"))
-        elif tag == _TAG_INSERT_REF:
-            name = ref_name()
-            yield Request.insert(name, stream.read_varint("insert size"))
+            if size < 1:
+                raise TraceFormatError(
+                    f"{path}: record {count}: insert with non-positive size {size}"
+                )
+            request = _new_request(Request)
+            _set_attr(request, "op", INSERT)
+            _set_attr(request, "name", name)
+            _set_attr(request, "size", size)
+            yield request
         elif tag == _TAG_DELETE_REF:
-            name_id = stream.read_varint("name id")
+            count += 1
             try:
                 name = bound.pop(name_id)
             except KeyError:
@@ -344,23 +432,534 @@ def iter_binary_records(handle, header: BinaryHeader, path) -> Iterator[Request]
                     "name (never inserted, or already deleted)"
                 ) from None
             free_ids.append(name_id)
-            yield Request.delete(name)
+            request = _new_request(Request)
+            _set_attr(request, "op", DELETE)
+            _set_attr(request, "name", name)
+            _set_attr(request, "size", 0)
+            yield request
+        elif tag == _TAG_INSERT_REF:
+            count += 1
+            try:
+                name = bound[name_id]
+            except KeyError:
+                raise TraceFormatError(
+                    f"{path}: record {count}: name id {name_id} references an unbound "
+                    "name (never inserted, or already deleted)"
+                ) from None
+            if size < 1:
+                raise TraceFormatError(
+                    f"{path}: record {count}: insert with non-positive size {size}"
+                )
+            request = _new_request(Request)
+            _set_attr(request, "op", INSERT)
+            _set_attr(request, "name", name)
+            _set_attr(request, "size", size)
+            yield request
         elif tag == _TAG_DELETE_NEW:
-            yield Request.delete(read_name())
+            count += 1
+            if prefix:
+                if prefix > len(previous_name):
+                    raise TraceFormatError(
+                        f"{path}: record {count}: name prefix length {prefix} exceeds "
+                        f"the previous name's {len(previous_name)} bytes"
+                    )
+                raw = previous_name[:prefix] + suffix
+            else:
+                raw = suffix
+            previous_name = raw
+            try:
+                name = raw.decode("utf-8")
+            except UnicodeDecodeError as error:
+                raise TraceFormatError(
+                    f"{path}: record {count}: undecodable name: {error}"
+                ) from error
+            request = _new_request(Request)
+            _set_attr(request, "op", DELETE)
+            _set_attr(request, "name", name)
+            _set_attr(request, "size", 0)
+            yield request
+        else:  # _TAG_END
+            if declared != count:
+                raise TraceFormatError(
+                    f"{path}: record count mismatch: END trailer declares {declared}, "
+                    f"read {count}"
+                )
+            if pos != len(buf):
+                raise TraceFormatError(
+                    f"{path}: trailing data after the END trailer"
+                )
+            source.check_no_trailing()
+            # Cold path: counters are pushed once per completed file, so the
+            # per-record decode loop never touches telemetry.
+            telemetry = get_telemetry()
+            if telemetry.enabled:
+                telemetry.add("trace_io.decode_records", count)
+                telemetry.add("trace_io.decode_bytes", source.raw_bytes)
+                telemetry.add("trace_io.decode_files")
+            return
+
+
+# ------------------------------------------------------------------ v3 reader
+def _decode_snapshot(
+    data: bytes, entry_count: int, path, block: int
+) -> Tuple[List[str], List[int], bytes]:
+    """Decode a block-entry snapshot: ``(names, sizes, last_raw_name)``.
+
+    Names must be strictly increasing in UTF-8 byte order (that is what
+    makes the writer/reader id assignment deterministic and front-coding
+    effective); the returned ``last_raw_name`` seeds record front-coding.
+    """
+    names: List[str] = []
+    sizes: List[int] = []
+    pos = 0
+    prev: Optional[bytes] = None
+    raw = b""
+    where = f"block {block} snapshot"
+    try:
+        for _ in range(entry_count):
+            prefix = data[pos]
+            pos += 1
+            if prefix >= 0x80:
+                prefix, pos = _decode_varint_slow(data, pos, prefix, path, block)
+            suffix_len = data[pos]
+            pos += 1
+            if suffix_len >= 0x80:
+                suffix_len, pos = _decode_varint_slow(data, pos, suffix_len, path, block)
+            end = pos + suffix_len
+            if end > len(data):
+                raise IndexError
+            if prefix > len(raw):
+                raise TraceFormatError(
+                    f"{path}: {where}: name prefix length {prefix} exceeds "
+                    f"the previous name's {len(raw)} bytes"
+                )
+            raw = raw[:prefix] + data[pos:end]
+            pos = end
+            size = data[pos]
+            pos += 1
+            if size >= 0x80:
+                size, pos = _decode_varint_slow(data, pos, size, path, block)
+            if prev is not None and raw <= prev:
+                raise TraceFormatError(
+                    f"{path}: {where}: entries not in sorted name order"
+                )
+            if size < 1:
+                raise TraceFormatError(
+                    f"{path}: {where}: live object with non-positive size {size}"
+                )
+            prev = raw
+            try:
+                names.append(raw.decode("utf-8"))
+            except UnicodeDecodeError as error:
+                raise TraceFormatError(
+                    f"{path}: {where}: undecodable name: {error}"
+                ) from error
+            sizes.append(size)
+    except IndexError:
+        raise TraceFormatError(
+            f"{path}: truncated trace file (unexpected end of data while "
+            f"reading {where})"
+        ) from None
+    if pos != len(data):
+        raise TraceFormatError(f"{path}: {where}: trailing bytes after the entries")
+    return names, sizes, raw
+
+
+def _decode_block_records(
+    body: bytes, names: List[str], previous_name: bytes, expected: int, path, block: int
+) -> Iterator[Request]:
+    """Yield exactly ``expected`` requests from one in-memory block body.
+
+    The interned-name table starts as the snapshot ``names`` bound to ids
+    ``0..len(names)-1``; front-coding starts from ``previous_name`` (the
+    last snapshot name).  The body must contain exactly the declared
+    records with no bytes left over.
+    """
+    bound: Dict[int, str] = dict(enumerate(names))
+    free_ids: List[int] = []
+    next_id = len(names)
+    count = 0
+    pos = 0
+    where = f"block {block}"
+    try:
+        while count < expected:
+            tag = body[pos]
+            pos += 1
+            count += 1
+            if tag == _TAG_INSERT_NEW or tag == _TAG_DELETE_NEW:
+                prefix = body[pos]
+                pos += 1
+                if prefix >= 0x80:
+                    prefix, pos = _decode_varint_slow(body, pos, prefix, path, count)
+                suffix_len = body[pos]
+                pos += 1
+                if suffix_len >= 0x80:
+                    suffix_len, pos = _decode_varint_slow(body, pos, suffix_len, path, count)
+                end = pos + suffix_len
+                if end > len(body):
+                    raise IndexError
+                if prefix:
+                    if prefix > len(previous_name):
+                        raise TraceFormatError(
+                            f"{path}: {where}, record {count}: name prefix length "
+                            f"{prefix} exceeds the previous name's "
+                            f"{len(previous_name)} bytes"
+                        )
+                    raw = previous_name[:prefix] + body[pos:end]
+                else:
+                    raw = body[pos:end]
+                pos = end
+                previous_name = raw
+                try:
+                    name = raw.decode("utf-8")
+                except UnicodeDecodeError as error:
+                    raise TraceFormatError(
+                        f"{path}: {where}, record {count}: undecodable name: {error}"
+                    ) from error
+                if tag == _TAG_INSERT_NEW:
+                    size = body[pos]
+                    pos += 1
+                    if size >= 0x80:
+                        size, pos = _decode_varint_slow(body, pos, size, path, count)
+                    if size < 1:
+                        raise TraceFormatError(
+                            f"{path}: {where}, record {count}: insert with "
+                            f"non-positive size {size}"
+                        )
+                    if free_ids:
+                        bound[free_ids.pop()] = name
+                    else:
+                        bound[next_id] = name
+                        next_id += 1
+                    request = _new_request(Request)
+                    _set_attr(request, "op", INSERT)
+                    _set_attr(request, "name", name)
+                    _set_attr(request, "size", size)
+                else:
+                    request = _new_request(Request)
+                    _set_attr(request, "op", DELETE)
+                    _set_attr(request, "name", name)
+                    _set_attr(request, "size", 0)
+                yield request
+            elif tag == _TAG_DELETE_REF or tag == _TAG_INSERT_REF:
+                name_id = body[pos]
+                pos += 1
+                if name_id >= 0x80:
+                    name_id, pos = _decode_varint_slow(body, pos, name_id, path, count)
+                if tag == _TAG_DELETE_REF:
+                    try:
+                        name = bound.pop(name_id)
+                    except KeyError:
+                        raise TraceFormatError(
+                            f"{path}: {where}, record {count}: name id {name_id} "
+                            "references an unbound name (never inserted, or "
+                            "already deleted)"
+                        ) from None
+                    free_ids.append(name_id)
+                    request = _new_request(Request)
+                    _set_attr(request, "op", DELETE)
+                    _set_attr(request, "name", name)
+                    _set_attr(request, "size", 0)
+                else:
+                    try:
+                        name = bound[name_id]
+                    except KeyError:
+                        raise TraceFormatError(
+                            f"{path}: {where}, record {count}: name id {name_id} "
+                            "references an unbound name (never inserted, or "
+                            "already deleted)"
+                        ) from None
+                    size = body[pos]
+                    pos += 1
+                    if size >= 0x80:
+                        size, pos = _decode_varint_slow(body, pos, size, path, count)
+                    if size < 1:
+                        raise TraceFormatError(
+                            f"{path}: {where}, record {count}: insert with "
+                            f"non-positive size {size}"
+                        )
+                    request = _new_request(Request)
+                    _set_attr(request, "op", INSERT)
+                    _set_attr(request, "name", name)
+                    _set_attr(request, "size", size)
+                yield request
+            else:
+                raise TraceFormatError(
+                    f"{path}: {where}, record {count}: unknown record tag 0x{tag:02x}"
+                )
+    except IndexError:
+        raise TraceFormatError(
+            f"{path}: {where}: truncated record data (body ends mid-record; "
+            f"{count - 1} of {expected} record(s) decoded)"
+        ) from None
+    if pos != len(body):
+        raise TraceFormatError(
+            f"{path}: {where}: trailing bytes after the declared records"
+        )
+
+
+def _read_block_parts(handle, compressed: bool, path, block: int):
+    """Read one block with ``handle`` positioned just past its 0x05 tag.
+
+    Returns ``(record_count, names, sizes, last_raw_name, body_bytes)``
+    with the body already decompressed and the snapshot decoded.
+    """
+    record_count = _read_varint_from(handle, "block record count", path)
+    entry_count = _read_varint_from(handle, "block entry count", path)
+    snapshot_len = _read_varint_from(handle, "block snapshot length", path)
+    snapshot = _read_exact_from(handle, snapshot_len, "block snapshot", path)
+    body_len = _read_varint_from(handle, "block body length", path)
+    body = _read_exact_from(handle, body_len, "block body", path)
+    if compressed:
+        try:
+            body = zlib.decompress(body)
+        except zlib.error as error:
+            raise TraceFormatError(
+                f"{path}: block {block}: corrupt zlib block body ({error})"
+            ) from error
+    names, sizes, last_raw = _decode_snapshot(snapshot, entry_count, path, block)
+    return record_count, names, sizes, last_raw, body
+
+
+def _iter_v3_records(handle, header: BinaryHeader, path) -> Iterator[Request]:
+    """Sequential scan of a v3 body: blocks, END record, footer, trailer."""
+    start_offset = handle.tell()
+    blocks_seen: List[Tuple[int, int]] = []  # (offset, record_count)
+    count = 0
+    while True:
+        offset = handle.tell()
+        probe = handle.read(1)
+        if len(probe) != 1:
+            raise TraceFormatError(
+                f"{path}: truncated trace file (end of data before the END "
+                f"trailer; {count} record(s) read)"
+            )
+        tag = probe[0]
+        if tag == _TAG_BLOCK:
+            block = len(blocks_seen)
+            record_count, names, _sizes, last_raw, body = _read_block_parts(
+                handle, header.compressed, path, block
+            )
+            yield from _decode_block_records(
+                body, names, last_raw, record_count, path, block
+            )
+            blocks_seen.append((offset, record_count))
+            count += record_count
+        elif tag == _TAG_END:
+            declared = _read_varint_from(handle, "END trailer record count", path)
+            if declared != count:
+                raise TraceFormatError(
+                    f"{path}: record count mismatch: END trailer declares "
+                    f"{declared}, read {count}"
+                )
+            block_count = _read_varint_from(handle, "footer block count", path)
+            if block_count != len(blocks_seen):
+                raise TraceFormatError(
+                    f"{path}: footer block count mismatch: footer declares "
+                    f"{block_count}, read {len(blocks_seen)}"
+                )
+            previous = 0
+            for index in range(block_count):
+                delta = _read_varint_from(handle, "footer block offset", path)
+                block_offset = delta if index == 0 else previous + delta
+                block_records = _read_varint_from(handle, "footer block records", path)
+                if (block_offset, block_records) != blocks_seen[index]:
+                    raise TraceFormatError(
+                        f"{path}: footer entry {index} disagrees with the block "
+                        f"actually read (footer says offset {block_offset} / "
+                        f"{block_records} record(s), read "
+                        f"{blocks_seen[index][0]} / {blocks_seen[index][1]})"
+                    )
+                previous = block_offset
+            trailer = _read_exact_from(handle, _TRAILER_LEN, "footer trailer", path)
+            if trailer[8:] != _FOOTER_MAGIC:
+                raise TraceFormatError(
+                    f"{path}: bad footer magic {trailer[8:]!r} in the v3 trailer"
+                )
+            end_offset = int.from_bytes(trailer[:8], "little")
+            if end_offset != offset:
+                raise TraceFormatError(
+                    f"{path}: v3 trailer points at offset {end_offset}, but the "
+                    f"END record is at {offset}"
+                )
+            if handle.read(1):
+                raise TraceFormatError(f"{path}: trailing data after the END trailer")
+            telemetry = get_telemetry()
+            if telemetry.enabled:
+                telemetry.add("trace_io.decode_records", count)
+                telemetry.add("trace_io.decode_bytes", handle.tell() - start_offset)
+                telemetry.add("trace_io.decode_files")
+            return
         else:
             raise TraceFormatError(
-                f"{path}: record {count}: unknown record tag 0x{tag:02x}"
+                f"{path}: block {len(blocks_seen)}: unknown record tag 0x{tag:02x}"
             )
+
+
+# --------------------------------------------------------------- block index
+def _check_block_tag(handle, path, block: int) -> None:
+    tag = _read_exact_from(handle, 1, "block tag", path)[0]
+    if tag != _TAG_BLOCK:
+        raise TraceFormatError(
+            f"{path}: block {block}: expected a block tag at its indexed "
+            f"offset, found 0x{tag:02x}"
+        )
+
+
+@dataclass(frozen=True)
+class TraceBlock:
+    """One v3 block as described by the footer index."""
+
+    index: int  # position in the block sequence
+    offset: int  # absolute file offset of the 0x05 block tag
+    records: int  # records encoded in this block
+    start: int  # global index of the block's first record
+
+
+@dataclass
+class BlockIndex:
+    """The seek index of a v3 trace: where every block lives.
+
+    Built by :func:`read_block_index` from the fixed-size trailer at the
+    end of the file — no body scan.  ``entry_snapshot`` and ``iter_range``
+    seek straight to a block, which is what sharded parallel replay and
+    suffix scans build on.
+    """
+
+    path: str
+    compressed: bool
+    total_records: int
+    blocks: List[TraceBlock]
+    header: BinaryHeader
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def entry_snapshot(self, block: int) -> List[Tuple[str, int]]:
+        """The live ``(name, size)`` objects at entry to ``blocks[block]``."""
+        target = self.blocks[block]
+        with open(self.path, "rb") as handle:
+            handle.seek(target.offset)
+            _check_block_tag(handle, self.path, block)
+            _count, names, sizes, _last, _body = _read_block_parts(
+                handle, self.compressed, self.path, block
+            )
+        self._count_seeks(1)
+        return list(zip(names, sizes))
+
+    def iter_range(self, start: int, stop: Optional[int] = None) -> Iterator[Request]:
+        """Yield the requests of blocks ``start..stop-1`` by seeking.
+
+        ``stop`` defaults to the end of the trace, so ``iter_range(n)`` is
+        the suffix of the trace from block ``n`` on.
+        """
+        blocks = self.blocks[start:stop]
+        if not blocks:
+            return
+        with open(self.path, "rb") as handle:
+            handle.seek(blocks[0].offset)
+            for block in blocks:
+                _check_block_tag(handle, self.path, block.index)
+                record_count, names, _sizes, last_raw, body = _read_block_parts(
+                    handle, self.compressed, self.path, block.index
+                )
+                if record_count != block.records:
+                    raise TraceFormatError(
+                        f"{self.path}: block {block.index} declares {record_count} "
+                        f"record(s), footer index says {block.records}"
+                    )
+                yield from _decode_block_records(
+                    body, names, last_raw, record_count, self.path, block.index
+                )
+        self._count_seeks(len(blocks))
+
+    def _count_seeks(self, seeks: int) -> None:
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.add("trace_io.block_seeks", seeks)
+
+
+def read_block_index(path: Union[str, os.PathLike]) -> Optional[BlockIndex]:
+    """Read the footer index of a v3 trace without scanning the body.
+
+    Returns ``None`` when ``path`` is not seekable — not a plain-container
+    v3 file (v0/v1/v2, or anything inside a gzip container, which has no
+    random access).  Raises :class:`TraceFormatError` when the file claims
+    to be v3 but its trailer or footer is missing or corrupt.
+    """
+    with open(path, "rb") as handle:
+        head = handle.read(2)
+        if head == b"\x1f\x8b":  # gzip container: no random access
+            return None
+        handle.seek(0)
+        if handle.read(len(MAGIC)) != MAGIC:
+            return None
+        handle.seek(0)
+        header = read_binary_header(handle, path)
+        if header.version != 3:
+            return None
+        file_size = os.fstat(handle.fileno()).st_size
+        if file_size < _TRAILER_LEN:
+            raise TraceFormatError(
+                f"{path}: truncated trace file (too small for the v3 trailer)"
+            )
+        handle.seek(file_size - _TRAILER_LEN)
+        trailer = handle.read(_TRAILER_LEN)
+        if trailer[8:] != _FOOTER_MAGIC:
+            raise TraceFormatError(
+                f"{path}: bad footer magic {trailer[8:]!r} in the v3 trailer "
+                "(truncated or not a completed v3 trace)"
+            )
+        end_offset = int.from_bytes(trailer[:8], "little")
+        if end_offset >= file_size - _TRAILER_LEN:
+            raise TraceFormatError(
+                f"{path}: v3 trailer points at offset {end_offset}, past the footer"
+            )
+        handle.seek(end_offset)
+        tag = _read_exact_from(handle, 1, "END tag", path)[0]
+        if tag != _TAG_END:
+            raise TraceFormatError(
+                f"{path}: v3 trailer points at tag 0x{tag:02x}, not the END record"
+            )
+        total = _read_varint_from(handle, "END trailer record count", path)
+        block_count = _read_varint_from(handle, "footer block count", path)
+        blocks: List[TraceBlock] = []
+        previous = 0
+        start = 0
+        for index in range(block_count):
+            delta = _read_varint_from(handle, "footer block offset", path)
+            offset = delta if index == 0 else previous + delta
+            records = _read_varint_from(handle, "footer block records", path)
+            blocks.append(TraceBlock(index=index, offset=offset, records=records, start=start))
+            previous = offset
+            start += records
+        if start != total:
+            raise TraceFormatError(
+                f"{path}: footer block records sum to {start}, END trailer "
+                f"declares {total}"
+            )
+        if handle.tell() != file_size - _TRAILER_LEN:
+            raise TraceFormatError(
+                f"{path}: footer does not end at the v3 trailer"
+            )
+    return BlockIndex(
+        path=str(path),
+        compressed=header.compressed,
+        total_records=total,
+        blocks=blocks,
+        header=header,
+    )
 
 
 # --------------------------------------------------------------------- writer
 class BinaryTraceWriter:
-    """Streaming writer for the v2 binary trace format.
+    """Streaming writer for the binary trace formats (v2 and v3).
 
     Usable as a context manager; requests are encoded and flushed through a
     bounded buffer, so writing a 10M-request trace never holds it in memory:
-    the only growing state is the live-name table plus the free-id pool,
-    both bounded by the peak number of simultaneously live objects.
+    the only growing state is the live-name table plus the free-id pool
+    (both bounded by the peak number of simultaneously live objects) and,
+    for v3, one block's worth of encoded records.
     """
 
     def __init__(
@@ -370,9 +969,20 @@ class BinaryTraceWriter:
         metadata: Optional[Dict[str, Any]] = None,
         compress: bool = False,
         compresslevel: int = 6,
+        version: int = BINARY_FORMAT_VERSION,
+        block_records: int = DEFAULT_BLOCK_RECORDS,
     ) -> None:
+        if version not in KNOWN_BINARY_VERSIONS:
+            raise ValueError(
+                f"unknown binary trace version {version!r}; known: "
+                + ", ".join(str(v) for v in KNOWN_BINARY_VERSIONS)
+            )
+        if version == 3 and block_records < 1:
+            raise ValueError(f"v3 block size must be >= 1 record, got {block_records}")
         self.path = path
+        self.version = version
         self.count = 0
+        self.block_records = block_records
         header = {"label": str(label)}
         if metadata:
             header["meta"] = dict(metadata)
@@ -386,18 +996,31 @@ class BinaryTraceWriter:
         self._handle = open(path, "wb")
         self._handle.write(
             MAGIC
-            + encode_varint(BINARY_FORMAT_VERSION)
+            + encode_varint(version)
             + bytes([flags])
             + encode_varint(len(header_bytes))
             + header_bytes
         )
-        self._compressor = zlib.compressobj(compresslevel) if compress else None
+        self._compressed = bool(compress)
+        self._compresslevel = compresslevel
+        self._compressor = (
+            zlib.compressobj(compresslevel) if compress and version == 2 else None
+        )
         self._buffer = bytearray()
         self._bound: Dict[str, int] = {}  # live name -> id
-        self._free_ids: list = []  # LIFO pool, mirrored by the reader
+        self._free_ids: List[int] = []  # LIFO pool, mirrored by the reader
         self._next_id = 0
         self._previous_name = b""  # front-coding state
         self._closed = False
+        # v3 state: live sizes for block-entry snapshots, the footer index,
+        # and the current block's record count.
+        self._live_sizes: Dict[str, int] = {}
+        self._blocks: List[Tuple[int, int]] = []  # (offset, record_count)
+        self._block_count = 0
+        self._pending_snapshot = b""
+        self._pending_entries = 0
+        if version == 3:
+            self._start_block()
 
     def __enter__(self) -> "BinaryTraceWriter":
         return self
@@ -408,16 +1031,78 @@ class BinaryTraceWriter:
         else:
             self.abort()
 
-    def _encode_name(self, name: str) -> bytes:
+    # ------------------------------------------------------------- v3 blocks
+    def _start_block(self) -> None:
+        """Capture the block-entry snapshot and restart the interning table.
+
+        Snapshot names are bound to ids ``0..n-1`` in sorted UTF-8 byte
+        order (fresh ids continue from ``n``, the free pool empties) and
+        record front-coding restarts from the last snapshot name — exactly
+        what the reader reconstructs from the snapshot alone.
+        """
+        entries = sorted(
+            (name.encode("utf-8"), name, size)
+            for name, size in self._live_sizes.items()
+        )
+        snapshot = bytearray()
+        prev = b""
+        bound: Dict[str, int] = {}
+        for index, (raw, name, size) in enumerate(entries):
+            prefix = 0
+            limit = min(len(raw), len(prev))
+            while prefix < limit and raw[prefix] == prev[prefix]:
+                prefix += 1
+            snapshot += encode_varint(prefix)
+            snapshot += encode_varint(len(raw) - prefix)
+            snapshot += raw[prefix:]
+            snapshot += encode_varint(size)
+            prev = raw
+            bound[name] = index
+        self._pending_snapshot = bytes(snapshot)
+        self._pending_entries = len(entries)
+        self._bound = bound
+        self._free_ids = []
+        self._next_id = len(entries)
+        self._previous_name = prev
+        self._block_count = 0
+
+    def _flush_block(self) -> None:
+        """Write the buffered block (header + snapshot + body) to disk."""
+        body = bytes(self._buffer)
+        self._buffer.clear()
+        if self._compressed:
+            body = zlib.compress(body, self._compresslevel)
+        offset = self._handle.tell()
+        self._handle.write(
+            bytes([_TAG_BLOCK])
+            + encode_varint(self._block_count)
+            + encode_varint(self._pending_entries)
+            + encode_varint(len(self._pending_snapshot))
+            + self._pending_snapshot
+            + encode_varint(len(body))
+            + body
+        )
+        self._blocks.append((offset, self._block_count))
+
+    # --------------------------------------------------------------- records
+    def _append_name(self, buffer: bytearray, raw: bytes) -> None:
         """Front-coded name bytes: shared-prefix length + suffix."""
-        raw = name.encode("utf-8")
         previous = self._previous_name
         prefix = 0
         limit = min(len(raw), len(previous))
         while prefix < limit and raw[prefix] == previous[prefix]:
             prefix += 1
         self._previous_name = raw
-        return encode_varint(prefix) + encode_varint(len(raw) - prefix) + raw[prefix:]
+        suffix_len = len(raw) - prefix
+        if prefix < 0x80:
+            buffer.append(prefix)
+        else:
+            buffer += encode_varint(prefix)
+        if suffix_len < 0x80:
+            buffer.append(suffix_len)
+        else:
+            buffer += encode_varint(suffix_len)
+        buffer += raw[prefix:]
 
     def write(self, request: Request) -> None:
         """Append one request to the trace."""
@@ -426,27 +1111,50 @@ class BinaryTraceWriter:
         name = str(request.name)
         name_id = self._bound.get(name)
         buffer = self._buffer
-        if request.is_insert:
+        size = request.size
+        if request.op == INSERT:
             if name_id is None:
                 if self._free_ids:
                     self._bound[name] = self._free_ids.pop()
                 else:
                     self._bound[name] = self._next_id
                     self._next_id += 1
-                buffer += bytes([_TAG_INSERT_NEW]) + self._encode_name(name)
+                buffer.append(_TAG_INSERT_NEW)
+                self._append_name(buffer, name.encode("utf-8"))
             else:
                 # Degenerate double-insert of a live name: keep the binding.
-                buffer += bytes([_TAG_INSERT_REF]) + encode_varint(name_id)
-            buffer += encode_varint(request.size)
+                buffer.append(_TAG_INSERT_REF)
+                if name_id < 0x80:
+                    buffer.append(name_id)
+                else:
+                    buffer += encode_varint(name_id)
+            if size < 0x80:
+                buffer.append(size)
+            else:
+                buffer += encode_varint(size)
         else:
             if name_id is None:
-                buffer += bytes([_TAG_DELETE_NEW]) + self._encode_name(name)
+                buffer.append(_TAG_DELETE_NEW)
+                self._append_name(buffer, name.encode("utf-8"))
             else:
                 del self._bound[name]
                 self._free_ids.append(name_id)
-                buffer += bytes([_TAG_DELETE_REF]) + encode_varint(name_id)
+                buffer.append(_TAG_DELETE_REF)
+                if name_id < 0x80:
+                    buffer.append(name_id)
+                else:
+                    buffer += encode_varint(name_id)
         self.count += 1
-        if len(buffer) >= _CHUNK:
+        if self.version == 3:
+            if request.op == INSERT:
+                self._live_sizes[name] = size
+            else:
+                self._live_sizes.pop(name, None)
+            self._block_count += 1
+            if self._block_count >= self.block_records:
+                self._flush_block()
+                self._start_block()
+        elif len(buffer) >= _CHUNK:
             self._flush_buffer()
 
     def _flush_buffer(self) -> None:
@@ -458,13 +1166,31 @@ class BinaryTraceWriter:
             self._handle.write(data)
 
     def close(self) -> None:
-        """Write the END trailer and close the file (idempotent)."""
+        """Write the END trailer (and v3 footer index) and close the file
+        (idempotent)."""
         if self._closed:
             return
-        self._buffer += bytes([_TAG_END]) + encode_varint(self.count)
-        self._flush_buffer()
-        if self._compressor is not None:
-            self._handle.write(self._compressor.flush())
+        if self.version == 3:
+            if self._block_count:
+                self._flush_block()
+            end_offset = self._handle.tell()
+            footer = bytearray([_TAG_END])
+            footer += encode_varint(self.count)
+            footer += encode_varint(len(self._blocks))
+            previous = 0
+            for index, (offset, records) in enumerate(self._blocks):
+                footer += encode_varint(offset if index == 0 else offset - previous)
+                footer += encode_varint(records)
+                previous = offset
+            footer += end_offset.to_bytes(8, "little")
+            footer += _FOOTER_MAGIC
+            self._handle.write(footer)
+        else:
+            self._buffer.append(_TAG_END)
+            self._buffer += encode_varint(self.count)
+            self._flush_buffer()
+            if self._compressor is not None:
+                self._handle.write(self._compressor.flush())
         self._handle.close()
         self._closed = True
         # Cold path: one telemetry push per completed file, so the

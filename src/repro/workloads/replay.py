@@ -1,13 +1,20 @@
-"""Trace recording and replay: three on-disk formats, one streaming core.
+"""Trace recording and replay: four on-disk formats, one streaming core.
 
-Three coexisting formats are readable, with transparent detection (plus a
+Four coexisting formats are readable, with transparent detection (plus a
 transparent gzip container around any of them):
+
+* **v3** (binary, seekable): like v2 but the records are grouped into
+  self-contained blocks with live-object snapshots and a footer index of
+  block offsets, so the trace can be seeked to any block and sharded
+  across worker processes (see :mod:`repro.workloads.binary` and
+  :func:`repro.workloads.binary.read_block_index`).  Written by
+  ``save_trace(..., version=3[, compress=True])``.
 
 * **v2** (binary, see :mod:`repro.workloads.binary`): magic + version
   header, varint-encoded records with an interned name table, optional zlib
   compression of the record body, and a JSON label/metadata block.  Written
-  by ``save_trace(..., version=2[, compress=True])``; the format for large
-  (multi-million-request) traces.
+  by ``save_trace(..., version=2[, compress=True])``; the default binary
+  format for large (multi-million-request) traces.
 
 * **v1** (text, written by default) starts with a ``# repro-trace v1``
   header line followed by optional ``# label <quoted>`` and ``# meta
@@ -60,23 +67,26 @@ import gzip
 import io
 import json
 import os
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Optional, Union
 from urllib.parse import quote, unquote
 
 from repro.workloads.base import Request, Trace
 from repro.workloads.binary import (
+    DEFAULT_BLOCK_RECORDS,
     BinaryTraceWriter,
     TraceFormatError,
     iter_binary_records,
     read_binary_header,
+    read_block_index,
     MAGIC as _V2_MAGIC,
 )
 
 #: Version written by :func:`save_trace` when none is requested.
 TRACE_FORMAT_VERSION = 1
 #: All format versions :func:`load_trace` / :func:`iter_trace` understand.
-KNOWN_TRACE_VERSIONS = (0, 1, 2)
+KNOWN_TRACE_VERSIONS = (0, 1, 2, 3)
 
 _V1_HEADER = "# repro-trace v1"
 _GZIP_MAGIC = b"\x1f\x8b"
@@ -177,24 +187,34 @@ def open_trace_writer(
     label: str = "trace",
     metadata: Optional[Dict[str, Any]] = None,
     compress: bool = False,
+    block_records: int = DEFAULT_BLOCK_RECORDS,
 ):
     """Open a streaming trace writer (``.write(request)`` / ``.close()``).
 
     This is the single write path for every format: :func:`save_trace` and
     ``repro trace convert`` both go through it.  ``compress`` is only
-    meaningful for the binary v2 format.
+    meaningful for the binary formats (v2: one zlib stream over the body,
+    v3: zlib per block so the file stays seekable); ``block_records`` sets
+    the v3 block size.
     """
-    if compress and version != 2:
+    if compress and version not in (2, 3):
         raise ValueError(
-            f"compression is only supported by the v2 binary format, not v{version}; "
-            "pass version=2 (or convert with --format v2 --compress)"
+            f"compression is only supported by the binary formats, not v{version}; "
+            "pass version=2 or 3 (or convert with --format v2/v3 --compress)"
         )
     if version == 0:
         return _TextTraceWriterV0(path, label=label, metadata=metadata)
     if version == 1:
         return _TextTraceWriterV1(path, label=label, metadata=metadata)
-    if version == 2:
-        return BinaryTraceWriter(path, label=label, metadata=metadata, compress=compress)
+    if version in (2, 3):
+        return BinaryTraceWriter(
+            path,
+            label=label,
+            metadata=metadata,
+            compress=compress,
+            version=version,
+            block_records=block_records,
+        )
     raise ValueError(
         f"unknown trace format version {version!r}; known: "
         + ", ".join(str(v) for v in KNOWN_TRACE_VERSIONS)
@@ -207,13 +227,15 @@ def save_trace(
     metadata: Optional[Dict[str, Any]] = None,
     version: int = TRACE_FORMAT_VERSION,
     compress: bool = False,
+    block_records: int = DEFAULT_BLOCK_RECORDS,
 ) -> None:
     """Write ``trace`` to ``path`` in the requested format version.
 
     ``metadata`` (JSON-serialisable dict) is merged over ``trace.metadata``
-    and stored in the v1/v2 header; requesting ``version=0`` with metadata
-    is an error since v0 has nowhere to put it.  ``compress=True`` (v2
-    only) zlib-compresses the record body.
+    and stored in the v1/v2/v3 header; requesting ``version=0`` with
+    metadata is an error since v0 has nowhere to put it.  ``compress=True``
+    (binary formats only) zlib-compresses the record body — one stream for
+    v2, per block for v3 so the file stays seekable.
     """
     merged = dict(trace.metadata)
     if metadata:
@@ -224,7 +246,12 @@ def save_trace(
         # to a v0 save is a caller error handled by the writer.
         merged = {}
     writer = open_trace_writer(
-        path, version=version, label=trace.label, metadata=merged or None, compress=compress
+        path,
+        version=version,
+        label=trace.label,
+        metadata=merged or None,
+        compress=compress,
+        block_records=block_records,
     )
     try:
         for request in trace:
@@ -238,6 +265,64 @@ def save_trace(
 
 
 # -------------------------------------------------------------------- readers
+class _SafeGzipHandle(io.BufferedIOBase):
+    """A gzip read handle whose failures are loud trace errors.
+
+    The gzip module raises a bare ``EOFError`` when the container is
+    truncated (and ``zlib.error``/``BadGzipFile`` on corruption) — none of
+    which are the :class:`TraceFormatError` the trace readers promise, so
+    a clipped ``.gz`` trace used to surface as a traceback with no file
+    path.  Translating here, once, covers every read path: ``iter_trace``,
+    ``load_trace``, ``trace_info``, and the streaming analyzers.
+    """
+
+    def __init__(self, path) -> None:
+        self._handle = gzip.open(path, "rb")
+        self._path = path
+
+    def _translate(self, error) -> TraceFormatError:
+        return TraceFormatError(
+            f"{self._path}: truncated or corrupt gzip container ({error})"
+        )
+
+    def read(self, size=-1):
+        try:
+            return self._handle.read(size)
+        except (EOFError, zlib.error, gzip.BadGzipFile) as error:
+            raise self._translate(error) from error
+
+    def read1(self, size=-1):
+        try:
+            return self._handle.read1(size)
+        except (EOFError, zlib.error, gzip.BadGzipFile) as error:
+            raise self._translate(error) from error
+
+    def readinto(self, buffer):
+        try:
+            return self._handle.readinto(buffer)
+        except (EOFError, zlib.error, gzip.BadGzipFile) as error:
+            raise self._translate(error) from error
+
+    def readable(self) -> bool:
+        return True
+
+    def seekable(self) -> bool:
+        return self._handle.seekable()
+
+    def seek(self, offset, whence=io.SEEK_SET):
+        try:
+            return self._handle.seek(offset, whence)
+        except (EOFError, zlib.error, gzip.BadGzipFile) as error:
+            raise self._translate(error) from error
+
+    def tell(self):
+        return self._handle.tell()
+
+    def close(self) -> None:
+        self._handle.close()
+        super().close()
+
+
 def _open_container(path):
     """Open ``path`` for binary reading, unwrapping a gzip container.
 
@@ -253,7 +338,16 @@ def _open_container(path):
         raise
     if head == _GZIP_MAGIC:
         handle.close()
-        return gzip.open(path, "rb"), "gzip"
+        return _SafeGzipHandle(path), "gzip"
+    if head == _GZIP_MAGIC[:1]:
+        # A lone 0x1f first byte is a gzip container clipped inside its own
+        # magic; without this check it would fall through to the text reader
+        # and silently parse as an empty trace.
+        handle.close()
+        raise TraceFormatError(
+            f"{path}: truncated or corrupt gzip container (file ends inside "
+            "the gzip magic)"
+        )
     handle.seek(0)
     return handle, "plain"
 
@@ -449,7 +543,7 @@ class TraceFileSource:
     def __iter__(self) -> Iterator[Request]:
         handle, _ = _open_container(self.path)
         try:
-            if self.version == 2:
+            if self.version >= 2:
                 header = read_binary_header(handle, self.path)
                 yield from iter_binary_records(handle, header, self.path)
             else:
@@ -509,12 +603,18 @@ class TraceInfo:
     peak_volume: int
     final_volume: int
     total_inserted_volume: int
+    #: v3 only: number of blocks in the footer index (0 otherwise).
+    blocks: int = 0
+    #: v3 only: records in the largest block (the writer's block size).
+    block_records: int = 0
+    #: True when the file can be seeked to any block (plain-container v3).
+    seekable: bool = False
 
     @property
     def format_description(self) -> str:
-        parts = [f"v{self.version}", "binary" if self.version == 2 else "text"]
+        parts = [f"v{self.version}", "binary" if self.version >= 2 else "text"]
         if self.compressed:
-            parts.append("zlib body")
+            parts.append("zlib blocks" if self.version == 3 else "zlib body")
         if self.container == "gzip":
             parts.append("gzip container")
         return f"{parts[0]} ({', '.join(parts[1:])})"
@@ -550,6 +650,15 @@ def trace_info(path: Union[str, os.PathLike]) -> TraceInfo:
         else:
             deletes += 1
             volume -= live.pop(request.name, 0)
+    blocks = 0
+    block_records = 0
+    seekable = False
+    if source.version == 3 and source.container == "plain":
+        index = read_block_index(path)
+        if index is not None:
+            blocks = len(index.blocks)
+            block_records = max((b.records for b in index.blocks), default=0)
+            seekable = True
     return TraceInfo(
         path=str(path),
         file_bytes=os.path.getsize(path),
@@ -566,4 +675,7 @@ def trace_info(path: Union[str, os.PathLike]) -> TraceInfo:
         peak_volume=peak_volume,
         final_volume=volume,
         total_inserted_volume=total_inserted,
+        blocks=blocks,
+        block_records=block_records,
+        seekable=seekable,
     )

@@ -191,3 +191,62 @@ def test_trace_convert_reads_gzip_container(v1_trace_file, tmp_path):
     out = tmp_path / "from-gz.v2"
     assert main(["trace", "convert", str(gz), str(out)]) == 0
     assert len(load_trace(out)) == len(trace)
+
+
+# ------------------------------------------------------------------ v3 surfaces
+def test_trace_convert_to_v3_with_block_size(v1_trace_file, tmp_path, capsys):
+    trace, path = v1_trace_file
+    out = tmp_path / "t.v3"
+    code = main(
+        ["trace", "convert", str(path), str(out), "--format", "v3", "--block-size", "100"]
+    )
+    assert code == 0
+    assert "v3" in capsys.readouterr().out
+    loaded = load_trace(out)
+    assert len(loaded) == len(trace)
+    assert loaded.metadata == trace.metadata
+    capsys.readouterr()
+    assert main(["trace", "info", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "yes (4 block(s), up to 100 records per block)" in printed  # 400/100
+
+
+def test_trace_info_non_v3_reports_not_seekable(v1_trace_file, tmp_path, capsys):
+    _, path = v1_trace_file
+    v2 = tmp_path / "t.v2"
+    main(["trace", "convert", str(path), str(v2)])
+    capsys.readouterr()
+    assert main(["trace", "info", str(v2)]) == 0
+    printed = capsys.readouterr().out
+    assert "not seekable" in printed
+    assert "--format v3" in printed
+
+
+def test_trace_convert_block_size_requires_v3(v1_trace_file, tmp_path, capsys):
+    _, path = v1_trace_file
+    code = main(
+        ["trace", "convert", str(path), str(tmp_path / "o"), "--format", "v2", "--block-size", "7"]
+    )
+    assert code == 2
+    assert "v3" in capsys.readouterr().err
+
+
+def test_trace_analyze_jobs_output_matches_serial(v1_trace_file, tmp_path, capsys):
+    _, path = v1_trace_file
+    v3 = tmp_path / "t.v3"
+    main(["trace", "convert", str(path), str(v3), "--format", "v3", "--block-size", "50"])
+    capsys.readouterr()
+    assert main(["trace", "analyze", str(v3)]) == 0
+    serial_out = capsys.readouterr().out
+    assert main(["trace", "analyze", str(v3), "--jobs", "2"]) == 0
+    assert capsys.readouterr().out == serial_out
+
+
+def test_trace_analyze_jobs_on_unseekable_file_notes_serial_scan(
+    v1_trace_file, capsys
+):
+    _, path = v1_trace_file  # v1 text: no block index
+    assert main(["trace", "analyze", str(path), "--jobs", "4"]) == 0
+    captured = capsys.readouterr()
+    assert "Trace analytics" in captured.out
+    assert "scanning serially" in captured.err

@@ -440,6 +440,22 @@ def test_v2_truncation_detected_at_every_cut(tmp_path):
                 load_trace(clipped)
 
 
+def test_v2_compressed_body_truncation_raises_with_path_at_every_cut(tmp_path):
+    """Clipping a zlib-compressed v2 body at *any* byte must raise a
+    :class:`TraceFormatError` naming the file — never a bare ``zlib.error``
+    or a silent prefix."""
+    whole = tmp_path / "whole.v2z"
+    save_trace(random_weird_trace(3, 30), whole, version=2, compress=True)
+    data = whole.read_bytes()
+    clipped = tmp_path / "clipped.v2z"
+    for cut in range(1, len(data)):
+        clipped.write_bytes(data[:cut])
+        with pytest.raises(TraceFormatError, match="clipped"):
+            list(iter_trace(clipped))
+        with pytest.raises(TraceFormatError, match="clipped"):
+            trace_info(clipped)
+
+
 def test_v2_bad_magic_rejected(tmp_path):
     path = tmp_path / "badmagic.bin"
     path.write_bytes(b"\x93RPTRACX" + b"\x00" * 16)
@@ -448,11 +464,11 @@ def test_v2_bad_magic_rejected(tmp_path):
 
 
 def test_v2_unknown_version_rejected(tmp_path):
-    path = v2_file(tmp_path, END + encode_varint(0), version=3)
-    with pytest.raises(ValueError, match="unsupported binary trace version 3"):
+    path = v2_file(tmp_path, END + encode_varint(0), version=4)
+    with pytest.raises(ValueError, match="unsupported binary trace version 4"):
         load_trace(path)
     with pytest.raises(ValueError, match="version"):
-        save_trace(Trace([]), tmp_path / "x.bin", version=3)
+        save_trace(Trace([]), tmp_path / "x.bin", version=9)
 
 
 def test_v2_unknown_flags_rejected(tmp_path):
