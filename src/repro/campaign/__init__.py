@@ -21,14 +21,36 @@ from repro.campaign.analyze import (
 )
 from repro.campaign.report import document_table, sweep_report
 from repro.campaign.artifacts import (
+    ArtifactError,
+    atomic_write,
     campaign_table,
     campaign_to_dict,
     completed_records,
     load_results,
     write_results,
 )
+from repro.campaign.diff import (
+    DIFF_METRICS,
+    CampaignDiff,
+    MetricDelta,
+    ToleranceError,
+    diff_documents,
+    diff_table,
+    parse_tolerances,
+)
 from repro.campaign.executor import CampaignResult, run_campaign, run_cell
 from repro.campaign.progress import ProgressReporter
+from repro.campaign.queue import (
+    CellJournal,
+    MergeResult,
+    QueueError,
+    claim_cell,
+    enqueue_campaign,
+    merge_queue,
+    read_journal,
+    run_queue_sweep,
+    work_queue,
+)
 from repro.campaign.spec import (
     ALLOCATOR_KINDS,
     COST_KINDS,
@@ -47,15 +69,27 @@ __all__ = [
     "ALLOCATOR_KINDS",
     "COST_KINDS",
     "DEVICE_KINDS",
+    "DIFF_METRICS",
+    "ArtifactError",
     "CampaignCell",
+    "CampaignDiff",
     "CampaignResult",
     "CampaignSpec",
+    "CellJournal",
+    "MergeResult",
+    "MetricDelta",
     "ProgressReporter",
+    "QueueError",
     "SpecError",
+    "ToleranceError",
     "TraceAnalytics",
     "TraceAnalyticsObserver",
     "analytics_result",
     "analyze_trace",
+    "atomic_write",
+    "claim_cell",
+    "diff_documents",
+    "diff_table",
     "document_table",
     "sweep_report",
     "build_allocator",
@@ -66,8 +100,14 @@ __all__ = [
     "campaign_table",
     "campaign_to_dict",
     "completed_records",
+    "enqueue_campaign",
     "load_results",
+    "merge_queue",
+    "parse_tolerances",
+    "read_journal",
     "run_campaign",
     "run_cell",
+    "run_queue_sweep",
+    "work_queue",
     "write_results",
 ]

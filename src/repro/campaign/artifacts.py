@@ -12,6 +12,13 @@ follow-up analysis load it back with :func:`load_results`); the CSV carries
 the scalar columns only.  Terminal rendering reuses the repo-wide
 :class:`~repro.harness.results.ExperimentResult` / ``ascii_table`` path so a
 sweep prints exactly like the registered experiments do.
+
+Every artifact is written atomically — serialized to a ``.tmp`` sibling and
+``os.replace``d into place — so an interrupted sweep can never leave a
+half-written ``results.json`` behind; whatever was there before the write
+survives intact.  A file that is nevertheless corrupt (e.g. produced by an
+older release that wrote in place, or clobbered by something else) raises
+:class:`ArtifactError` naming the path instead of a bare ``JSONDecodeError``.
 """
 
 from __future__ import annotations
@@ -19,12 +26,21 @@ from __future__ import annotations
 import csv
 import json
 import os
-from typing import Any, Dict, List, Union
+from typing import Any, Callable, Dict, List, TextIO, Union
 
 from repro.campaign.executor import CampaignResult
 from repro.campaign.spec import CampaignSpec, entry_tag
 from repro.harness.results import ExperimentResult
 from repro.obs.format import format_duration
+
+
+class ArtifactError(ValueError):
+    """A campaign artifact is missing its format marker or is unreadable.
+
+    Subclasses :class:`ValueError` so callers that already guard artifact
+    loads with ``except (OSError, ValueError)`` keep working; the message
+    always names the offending path.
+    """
 
 #: Scalar columns exported to ``results.csv``, in order.
 CSV_COLUMNS = (
@@ -56,7 +72,7 @@ CSV_COLUMNS = (
 
 def campaign_to_dict(result: CampaignResult) -> Dict[str, Any]:
     """The ``results.json`` document for one campaign run."""
-    return {
+    document = {
         "format": "repro-campaign-results",
         "version": 1,
         "campaign": result.spec.name,
@@ -70,12 +86,39 @@ def campaign_to_dict(result: CampaignResult) -> Dict[str, Any]:
         "spec": result.spec.to_dict(),
         "records": result.records,
     }
+    if result.metadata.get("interrupted"):
+        # A sweep cut short (Ctrl-C, dead worker): the records present are
+        # complete and durable, but the matrix is not — ``--resume`` picks
+        # the rest up instead of restarting from zero.
+        document["interrupted"] = True
+    return document
+
+
+def atomic_write(path: Union[str, os.PathLike], writer: Callable[[TextIO], None]) -> None:
+    """Write a text file atomically: ``.tmp`` sibling, fsync, ``os.replace``.
+
+    A crash at any point leaves either the previous file or the complete new
+    one — never a truncated hybrid.  The ``.tmp`` sibling lives in the same
+    directory so the replace never crosses filesystems.
+    """
+    tmp_path = f"{os.fspath(path)}.tmp"
+    with open(tmp_path, "w", encoding="utf-8", newline="") as handle:
+        writer(handle)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+
+
+def _dump_json(document: Any, handle: TextIO) -> None:
+    json.dump(document, handle, indent=2, sort_keys=True)
+    handle.write("\n")
 
 
 def write_results(result: CampaignResult, out_dir: Union[str, os.PathLike]) -> Dict[str, str]:
     """Write ``spec.json`` / ``results.json`` / ``results.csv`` under ``out_dir``.
 
-    Returns the paths written, keyed by artifact name.
+    Each file is written atomically (see :func:`atomic_write`).  Returns the
+    paths written, keyed by artifact name.
     """
     os.makedirs(out_dir, exist_ok=True)
     paths = {
@@ -83,17 +126,16 @@ def write_results(result: CampaignResult, out_dir: Union[str, os.PathLike]) -> D
         "results": os.path.join(out_dir, "results.json"),
         "csv": os.path.join(out_dir, "results.csv"),
     }
-    with open(paths["spec"], "w", encoding="utf-8") as handle:
-        json.dump(result.spec.to_dict(), handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    with open(paths["results"], "w", encoding="utf-8") as handle:
-        json.dump(campaign_to_dict(result), handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    with open(paths["csv"], "w", encoding="utf-8", newline="") as handle:
+    atomic_write(paths["spec"], lambda handle: _dump_json(result.spec.to_dict(), handle))
+    atomic_write(paths["results"], lambda handle: _dump_json(campaign_to_dict(result), handle))
+
+    def _write_csv(handle: TextIO) -> None:
         writer = csv.writer(handle)
         writer.writerow(CSV_COLUMNS)
         for record in result.records:
             writer.writerow(_csv_row(record))
+
+    atomic_write(paths["csv"], _write_csv)
     return paths
 
 
@@ -136,11 +178,21 @@ def _csv_row(record: Dict[str, Any]) -> List[Any]:
 
 
 def load_results(path: Union[str, os.PathLike]) -> Dict[str, Any]:
-    """Load a ``results.json`` document, checking its format marker."""
+    """Load a ``results.json`` document, checking its format marker.
+
+    Raises :class:`ArtifactError` (naming the path) for a truncated, corrupt,
+    or foreign JSON file, and the usual :class:`OSError` for a missing one.
+    """
     with open(path, "r", encoding="utf-8") as handle:
-        document = json.load(handle)
-    if document.get("format") != "repro-campaign-results":
-        raise ValueError(f"{path} is not a repro campaign results file")
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise ArtifactError(
+                f"{path} is not valid JSON (truncated or corrupt campaign "
+                f"artifact?): {error}"
+            ) from error
+    if not isinstance(document, dict) or document.get("format") != "repro-campaign-results":
+        raise ArtifactError(f"{path} is not a repro campaign results file")
     return document
 
 

@@ -1,0 +1,221 @@
+"""Cross-campaign diffing: turn any two sweeps into a regression gate.
+
+``repro sweep diff BASELINE CANDIDATE`` matches the per-cell records of two
+merged ``results.json`` artifacts by ``cell_id`` and compares their metric
+columns.  Every compared metric is *lower-is-better* (footprint ratios, cost
+ratios, move counts/volumes), so a candidate value above the baseline by
+more than the metric's tolerance is a **regression**; cells missing from
+either side, and cells that flipped into (or out of) error status, are
+called out separately.  With ``--fail-on-regression`` the CLI exits nonzero
+on any regression, missing cell, or new error — which is what lets CI gate
+every future PR on a recorded campaign.
+
+Tolerances are percentages per metric (``--tolerance cost_ratio=2`` allows
+a 2% increase); unlisted metrics default to exact (0%).  A zero-valued
+baseline has no meaningful percentage, so *any* increase from zero is a
+regression unless the metric's tolerance is infinite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.results import ExperimentResult
+
+#: Metric columns compared per cell, in report order.  All deterministic
+#: simulation outputs (never wall-clock), all lower-is-better.
+DIFF_METRICS: Tuple[str, ...] = (
+    "max_footprint",
+    "max_footprint_ratio",
+    "mean_footprint_ratio",
+    "cost_ratio",
+    "total_moves",
+    "total_moved_volume",
+    "moves_per_insert",
+    "max_request_moved_volume",
+    "device_elapsed_ms",
+)
+
+
+class ToleranceError(ValueError):
+    """A ``--tolerance`` argument does not parse or names no known metric."""
+
+
+def parse_tolerances(args: Sequence[str]) -> Dict[str, float]:
+    """Parse ``metric=pct`` strings (e.g. ``cost_ratio=2.5``) into a map."""
+    tolerances: Dict[str, float] = {}
+    for arg in args:
+        metric, sep, value = arg.partition("=")
+        metric = metric.strip()
+        if not sep or not metric:
+            raise ToleranceError(
+                f"tolerance {arg!r} must look like metric=pct (e.g. cost_ratio=2.5)"
+            )
+        if metric not in DIFF_METRICS:
+            raise ToleranceError(
+                f"unknown diff metric {metric!r}; known: {', '.join(DIFF_METRICS)}"
+            )
+        try:
+            tolerances[metric] = float(value)
+        except ValueError as error:
+            raise ToleranceError(f"tolerance {arg!r}: {error}") from error
+        if tolerances[metric] < 0:
+            raise ToleranceError(f"tolerance {arg!r} must be non-negative")
+    return tolerances
+
+
+@dataclass
+class MetricDelta:
+    """One metric of one cell, baseline vs candidate."""
+
+    cell_id: str
+    metric: str
+    baseline: float
+    candidate: float
+    tolerance_pct: float
+
+    @property
+    def delta(self) -> float:
+        return self.candidate - self.baseline
+
+    @property
+    def pct(self) -> float:
+        """Percent change from the baseline (inf for a zero baseline)."""
+        if self.baseline == 0:
+            return 0.0 if self.candidate == 0 else math.inf
+        return 100.0 * (self.candidate - self.baseline) / self.baseline
+
+    @property
+    def regressed(self) -> bool:
+        if self.candidate <= self.baseline:
+            return False
+        if math.isinf(self.tolerance_pct):
+            return False
+        return self.pct > self.tolerance_pct
+
+
+@dataclass
+class CampaignDiff:
+    """The full comparison of two campaign artifacts."""
+
+    baseline_name: str
+    candidate_name: str
+    compared_cells: int = 0
+    identical_cells: int = 0
+    changes: List[MetricDelta] = field(default_factory=list)
+    regressions: List[MetricDelta] = field(default_factory=list)
+    missing_cells: List[str] = field(default_factory=list)  # in baseline only
+    extra_cells: List[str] = field(default_factory=list)  # in candidate only
+    new_errors: List[str] = field(default_factory=list)  # ok -> error
+    fixed_errors: List[str] = field(default_factory=list)  # error -> ok
+    both_errors: List[str] = field(default_factory=list)  # error on both sides
+
+    @property
+    def gate_failures(self) -> int:
+        """What ``--fail-on-regression`` counts: regressions, cells the
+        candidate lost, and cells that newly error."""
+        return len(self.regressions) + len(self.missing_cells) + len(self.new_errors)
+
+
+def diff_documents(
+    baseline: Dict[str, Any],
+    candidate: Dict[str, Any],
+    tolerances: Optional[Dict[str, float]] = None,
+    metrics: Sequence[str] = DIFF_METRICS,
+) -> CampaignDiff:
+    """Compare two loaded ``results.json`` documents cell by cell."""
+    tolerances = tolerances or {}
+    base_records = {r["cell_id"]: r for r in baseline.get("records", [])}
+    cand_records = {r["cell_id"]: r for r in candidate.get("records", [])}
+    diff = CampaignDiff(
+        baseline_name=str(baseline.get("campaign", "?")),
+        candidate_name=str(candidate.get("campaign", "?")),
+    )
+    diff.missing_cells = sorted(set(base_records) - set(cand_records))
+    diff.extra_cells = sorted(set(cand_records) - set(base_records))
+    for cell_id in sorted(set(base_records) & set(cand_records)):
+        base, cand = base_records[cell_id], cand_records[cell_id]
+        base_ok = base.get("status") == "ok"
+        cand_ok = cand.get("status") == "ok"
+        if base_ok and not cand_ok:
+            diff.new_errors.append(cell_id)
+            continue
+        if not base_ok and cand_ok:
+            diff.fixed_errors.append(cell_id)
+            continue
+        if not base_ok and not cand_ok:
+            diff.both_errors.append(cell_id)
+            continue
+        diff.compared_cells += 1
+        changed = False
+        for metric in metrics:
+            base_value = base.get(metric)
+            cand_value = cand.get(metric)
+            if not isinstance(base_value, (int, float)) or not isinstance(
+                cand_value, (int, float)
+            ):
+                continue  # metric absent on one side (e.g. device "none")
+            if base_value == cand_value:
+                continue
+            changed = True
+            delta = MetricDelta(
+                cell_id=cell_id,
+                metric=metric,
+                baseline=float(base_value),
+                candidate=float(cand_value),
+                tolerance_pct=float(tolerances.get(metric, 0.0)),
+            )
+            diff.changes.append(delta)
+            if delta.regressed:
+                diff.regressions.append(delta)
+        if not changed:
+            diff.identical_cells += 1
+    return diff
+
+
+def _format_value(value: float) -> object:
+    if value == int(value):
+        return int(value)
+    return round(value, 6)
+
+
+def diff_table(diff: CampaignDiff) -> ExperimentResult:
+    """Render the comparison the way every other repro table renders."""
+    table = ExperimentResult(
+        experiment_id="DIFF",
+        title=(
+            f"{diff.baseline_name!r} -> {diff.candidate_name!r}: "
+            f"{diff.compared_cells} cells compared, "
+            f"{diff.identical_cells} identical, "
+            f"{len(diff.regressions)} regression(s)"
+        ),
+        headers=["cell", "metric", "baseline", "candidate", "delta", "pct", "verdict"],
+    )
+    for delta in diff.changes:
+        pct = delta.pct
+        table.rows.append(
+            [
+                delta.cell_id,
+                delta.metric,
+                _format_value(delta.baseline),
+                _format_value(delta.candidate),
+                _format_value(delta.delta),
+                "inf" if math.isinf(pct) else f"{pct:+.2f}%",
+                "REGRESSION" if delta.regressed else ("ok" if delta.delta < 0 else "tolerated"),
+            ]
+        )
+    if not diff.changes:
+        table.notes.append("no metric differs on any cell present in both campaigns")
+    for label, cells in (
+        ("missing from candidate", diff.missing_cells),
+        ("only in candidate", diff.extra_cells),
+        ("newly erroring", diff.new_errors),
+        ("fixed (error -> ok)", diff.fixed_errors),
+        ("erroring in both", diff.both_errors),
+    ):
+        if cells:
+            shown = ", ".join(cells[:4]) + (", ..." if len(cells) > 4 else "")
+            table.notes.append(f"{len(cells)} cell(s) {label}: {shown}")
+    return table

@@ -14,6 +14,13 @@ earlier run keyed by ``cell_id``; cells with a previous ``"ok"`` record are
 not re-executed — the old record is carried over (re-indexed, stamped
 ``"resumed": true``) and only the missing or failed cells run.
 
+Crash safety: ``run_campaign(..., journal=...)`` appends every freshly
+executed record to a :class:`~repro.campaign.queue.CellJournal` the moment
+it completes, and a ``KeyboardInterrupt`` mid-run (serial or pooled) stops
+the sweep but *keeps* the records finished so far — the result is stamped
+``metadata["interrupted"] = True`` so the artifact writer marks it and a
+later ``--resume`` picks up the missing cells instead of restarting.
+
 Fault isolation: the worker traps *any* exception (unknown spec kinds, bad
 parameters, allocator bugs mid-trace) and returns an error record carrying
 the traceback, so one broken cell shows up in the artifact instead of
@@ -261,6 +268,7 @@ def run_campaign(
     completed: Optional[Dict[str, Dict[str, Any]]] = None,
     telemetry: bool = False,
     profile_dir: Optional[str] = None,
+    journal: Optional[Any] = None,
 ) -> CampaignResult:
     """Run every cell of ``spec``, serially or over ``jobs`` processes.
 
@@ -282,6 +290,13 @@ def run_campaign(
     makes every cell capture counter/span snapshots into its record; the
     campaign re-emits them — stamped with the cell id — into the current
     session's sink.  ``profile_dir`` enables per-cell ``cProfile`` dumps.
+
+    ``journal`` (anything with an ``append(record)`` method, normally a
+    :class:`~repro.campaign.queue.CellJournal`) receives every freshly
+    executed record the moment it finishes, so completed work survives a
+    crash that never reaches the artifact writer.  A ``KeyboardInterrupt``
+    mid-run is trapped: the records completed so far are returned (and
+    journaled) and ``metadata["interrupted"]`` is set.
     """
     cells = spec.expand()
     session = get_telemetry()
@@ -332,23 +347,36 @@ def run_campaign(
     started = time.perf_counter()
     records: List[Dict[str, Any]] = list(reused)
     done = 0
+    interrupted = False
+
+    def collect(record: Dict[str, Any]) -> None:
+        # Durability first: the record reaches the journal before anything
+        # that might raise (telemetry sinks, progress callbacks), so a
+        # Ctrl-C landing in either never loses a finished cell.
+        nonlocal done
+        records.append(record)
+        if journal is not None:
+            journal.append(record)
+        _emit_cell_telemetry(session, record)
+        done += 1
+        if progress is not None:
+            progress(done, len(payloads), record)
+
     with session.span("sweep.run", campaign=spec.name, cells=len(cells), jobs=jobs):
-        if jobs == 1:
-            for payload in payloads:
-                record = run_cell(payload)
-                records.append(record)
-                _emit_cell_telemetry(session, record)
-                done += 1
-                if progress is not None:
-                    progress(done, len(payloads), record)
-        else:
-            with multiprocessing.Pool(processes=jobs) as pool:
-                for record in pool.imap_unordered(run_cell, payloads):
-                    records.append(record)
-                    _emit_cell_telemetry(session, record)
-                    done += 1
-                    if progress is not None:
-                        progress(done, len(payloads), record)
+        try:
+            if jobs == 1:
+                for payload in payloads:
+                    collect(run_cell(payload))
+            else:
+                with multiprocessing.Pool(processes=jobs) as pool:
+                    for record in pool.imap_unordered(run_cell, payloads):
+                        collect(record)
+        except KeyboardInterrupt:
+            # The sweep stops here, but every completed record is already
+            # collected (and journaled): the caller writes a partial artifact
+            # stamped "interrupted" and --resume finishes the matrix later.
+            # The pool context manager terminates any still-running workers.
+            interrupted = True
     session.flush()
     records.sort(key=lambda r: r["index"])
     elapsed = time.perf_counter() - started
@@ -363,6 +391,7 @@ def run_campaign(
             "ok": sum(1 for r in records if r["status"] == "ok"),
             "errors": sum(1 for r in records if r["status"] == "error"),
             "resumed": len(reused),
+            "interrupted": interrupted,
             "telemetry": telemetry,
             "profile_dir": profile_dir,
         },

@@ -1,0 +1,599 @@
+"""Distributed campaign execution over a file-backed work queue.
+
+The sweep executor (:mod:`repro.campaign.executor`) stops at one machine's
+cores.  This module turns a campaign into a *queue directory* that any number
+of independent worker processes — on the same host or on different hosts
+sharing a filesystem — can drain cooperatively, in the spirit of wiscsee's
+distributed SSD simulations and vegvisir's fault-isolated matrix runner::
+
+    <dir>/
+        spec.json                the campaign spec (written by enqueue)
+        queue/cell-0007.json     one pending cell payload per file
+        leases/cell-0007.lease   claim marker: worker token, pid, host, stamp
+        journal/<worker>.jsonl   crash-safe per-worker record journals
+        results.json             the merged artifact (written by merge)
+
+The protocol needs nothing but POSIX file semantics:
+
+* **Claiming** is an ``O_CREAT | O_EXCL`` create of the lease file — atomic
+  on any local or NFS filesystem — stamped with the worker's token, pid,
+  host, and claim time.  The lease's mtime is its heartbeat.
+* **Completion** appends the finished record (run through the existing
+  :func:`~repro.campaign.executor.run_cell` fault isolation) to the worker's
+  private JSONL journal — one fsync'd line per cell, so a crash can truncate
+  at most the line being written — and only then deletes the queue file and
+  the lease.
+* **Expiry**: a lease whose heartbeat is older than the TTL belongs to a
+  dead worker.  Other workers (and :func:`merge_queue`) *steal* it with an
+  atomic ``os.rename`` to a graveyard name — exactly one stealer wins — so
+  the cell is re-queued rather than lost.  A cell that was journaled but not
+  dequeued (death in the tiny window between the two) may run twice; records
+  are deterministic and :func:`merge_queue` deduplicates by ``cell_id``, so
+  the merged artifact sees it exactly once.
+
+:func:`merge_queue` folds every journal plus any previous ``results.json``
+into the canonical artifact (atomically, via
+:func:`~repro.campaign.artifacts.write_results`), reporting cells still
+pending; ``repro sweep SPEC --workers N`` wraps enqueue → N local workers →
+merge into one command.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import socket
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.campaign.artifacts import campaign_to_dict, load_results, write_results
+from repro.campaign.executor import CampaignResult, ProgressCallback, run_cell
+from repro.campaign.spec import CampaignSpec
+from repro.obs.telemetry import get_telemetry
+
+#: Default lease time-to-live: a worker that has not finished (or refreshed)
+#: a cell within this many seconds is presumed dead and its cell re-queued.
+#: Must comfortably exceed the longest single cell.
+DEFAULT_LEASE_TTL = 300.0
+
+_QUEUE_SUBDIR = "queue"
+_LEASE_SUBDIR = "leases"
+_JOURNAL_SUBDIR = "journal"
+
+
+class QueueError(ValueError):
+    """A queue directory is missing, malformed, or inconsistent."""
+
+
+class CellJournal:
+    """Append-only crash-safe JSONL journal of finished cell records.
+
+    One JSON document per line, flushed and fsync'd per append: a crash can
+    lose at most the line being written, and a truncated trailing line is
+    skipped (and counted) by :func:`read_journal`.  The file is opened
+    lazily so constructing a journal for a sweep that finishes zero cells
+    leaves nothing behind.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = os.fspath(path)
+        self.appended = 0
+        self._handle = None
+
+    def append(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.appended += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CellJournal":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+def read_journal(path: Union[str, os.PathLike]) -> Tuple[List[Dict[str, Any]], int]:
+    """Parse one journal file; returns ``(records, skipped_lines)``.
+
+    Unparseable lines (the truncated tail a crashed worker leaves) are
+    skipped, not fatal — the cell they would have recorded is simply still
+    pending and re-runs.
+    """
+    records: List[Dict[str, Any]] = []
+    skipped = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if isinstance(record, dict) and "cell_id" in record:
+                records.append(record)
+            else:
+                skipped += 1
+    return records, skipped
+
+
+def worker_token() -> str:
+    """A unique identity for one worker process: ``<host>-<pid>-<nonce>``."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+
+def _queue_dir(directory: Union[str, os.PathLike]) -> str:
+    return os.path.join(os.fspath(directory), _QUEUE_SUBDIR)
+
+
+def _lease_dir(directory: Union[str, os.PathLike]) -> str:
+    return os.path.join(os.fspath(directory), _LEASE_SUBDIR)
+
+
+def journal_dir(directory: Union[str, os.PathLike]) -> str:
+    return os.path.join(os.fspath(directory), _JOURNAL_SUBDIR)
+
+
+def spec_path(directory: Union[str, os.PathLike]) -> str:
+    return os.path.join(os.fspath(directory), "spec.json")
+
+
+def results_path(directory: Union[str, os.PathLike]) -> str:
+    return os.path.join(os.fspath(directory), "results.json")
+
+
+def load_queue_spec(directory: Union[str, os.PathLike]) -> CampaignSpec:
+    """The campaign spec a queue directory was enqueued from."""
+    path = spec_path(directory)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except OSError as error:
+        raise QueueError(
+            f"{os.fspath(directory)!r} is not a campaign queue directory "
+            f"(cannot read {path!r}: {error})"
+        ) from error
+    except json.JSONDecodeError as error:
+        raise QueueError(f"{path!r} is not a valid campaign spec: {error}") from error
+    return CampaignSpec.from_dict(raw)
+
+
+def enqueue_campaign(
+    spec: CampaignSpec,
+    directory: Union[str, os.PathLike],
+    completed: Optional[Dict[str, Dict[str, Any]]] = None,
+    telemetry: bool = False,
+    profile_dir: Optional[str] = None,
+) -> int:
+    """Serialize ``spec``'s expanded cells into a queue directory.
+
+    Writes ``spec.json`` plus one ``queue/cell-NNNN.json`` payload per cell.
+    ``completed`` (``cell_id`` -> earlier ok record, see
+    :func:`~repro.campaign.artifacts.completed_records`) skips cells that
+    already have a durable result — the resume path for queues.  Returns
+    the number of cells enqueued.  Re-enqueueing into a live queue is
+    refused: pending payloads or leases mean another campaign (or a previous
+    interrupted enqueue) still owns the directory.
+    """
+    directory = os.fspath(directory)
+    queue_dir = _queue_dir(directory)
+    for subdir in (queue_dir, _lease_dir(directory), journal_dir(directory)):
+        os.makedirs(subdir, exist_ok=True)
+    stale = [name for name in os.listdir(queue_dir) if name.endswith(".json")]
+    if stale:
+        raise QueueError(
+            f"queue directory {directory!r} already holds {len(stale)} pending "
+            "cell(s); run workers + merge (or delete the queue/ subdirectory) "
+            "before enqueueing again"
+        )
+    with open(spec_path(directory), "w", encoding="utf-8") as handle:
+        json.dump(spec.to_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    enqueued = 0
+    for cell in spec.expand():
+        if completed and completed.get(cell.cell_id, {}).get("status") == "ok":
+            continue
+        payload = cell.payload()
+        if telemetry:
+            payload["telemetry"] = True
+        if profile_dir:
+            payload["profile_dir"] = profile_dir
+        cell_file = os.path.join(queue_dir, f"cell-{cell.index:04d}.json")
+        tmp_file = f"{cell_file}.tmp"
+        with open(tmp_file, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        # Payloads appear atomically: a worker scanning mid-enqueue never
+        # sees (or claims) a half-written cell.
+        os.replace(tmp_file, cell_file)
+        enqueued += 1
+    telemetry_session = get_telemetry()
+    if telemetry_session.enabled:
+        telemetry_session.event(
+            "queue.enqueued", directory=directory, cells=enqueued, campaign=spec.name
+        )
+    return enqueued
+
+
+@dataclass
+class Lease:
+    """The contents of one lease file."""
+
+    token: str
+    pid: int
+    host: str
+    claimed_at: float
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "token": self.token,
+                "pid": self.pid,
+                "host": self.host,
+                "claimed_at": round(self.claimed_at, 3),
+            },
+            sort_keys=True,
+        )
+
+
+def _lease_age(lease_path: str) -> Optional[float]:
+    """Seconds since the lease's last heartbeat (mtime); None if gone."""
+    try:
+        return max(0.0, time.time() - os.stat(lease_path).st_mtime)
+    except OSError:
+        return None
+
+
+def _steal_lease(lease_path: str, token: str) -> bool:
+    """Atomically retire an expired lease; True if *this* caller retired it.
+
+    ``os.rename`` to a unique graveyard name is the arbiter: of all the
+    workers that saw the lease expire, exactly one rename succeeds, and a
+    fresh lease (re-created in the meantime by the winner of a previous
+    steal) is never deleted by a slow loser — its path simply no longer
+    matches.
+    """
+    grave = f"{lease_path}.stale-{token}"
+    try:
+        os.rename(lease_path, grave)
+    except OSError:
+        return False
+    try:
+        os.unlink(grave)
+    except OSError:
+        pass
+    return True
+
+
+def claim_cell(
+    directory: Union[str, os.PathLike],
+    token: str,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+) -> Optional[Tuple[str, Dict[str, Any]]]:
+    """Claim one pending cell; returns ``(cell_name, payload)`` or ``None``.
+
+    Scans the queue in index order, skipping live leases; an expired lease
+    is stolen (see :func:`_steal_lease`) and the cell re-claimed.  ``None``
+    means nothing is claimable right now — the queue is drained or every
+    remaining cell is leased to a live worker.
+    """
+    directory = os.fspath(directory)
+    queue_dir = _queue_dir(directory)
+    lease_dir = _lease_dir(directory)
+    try:
+        pending = sorted(name for name in os.listdir(queue_dir) if name.endswith(".json"))
+    except OSError as error:
+        raise QueueError(
+            f"{directory!r} is not a campaign queue directory ({error})"
+        ) from error
+    for name in pending:
+        cell_name = name[: -len(".json")]
+        cell_file = os.path.join(queue_dir, name)
+        lease_path = os.path.join(lease_dir, f"{cell_name}.lease")
+        age = _lease_age(lease_path)
+        if age is not None:
+            if age <= lease_ttl:
+                continue  # live worker owns it
+            if not _steal_lease(lease_path, token):
+                continue  # someone else won the steal; move on
+        try:
+            fd = os.open(lease_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except OSError as error:
+            if error.errno == errno.EEXIST:
+                continue  # lost the claim race
+            raise
+        lease = Lease(
+            token=token, pid=os.getpid(), host=socket.gethostname(), claimed_at=time.time()
+        )
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(lease.to_json() + "\n")
+        try:
+            with open(cell_file, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            # The cell finished (and was dequeued) between our scan and the
+            # claim, or the payload is unreadable: drop the lease and move on.
+            try:
+                os.unlink(lease_path)
+            except OSError:
+                pass
+            continue
+        return cell_name, payload
+    return None
+
+
+def complete_cell(directory: Union[str, os.PathLike], cell_name: str) -> None:
+    """Dequeue a finished cell: remove its payload file, then its lease.
+
+    Called only after the record is durably journaled — this ordering is
+    what guarantees at-least-once execution (a death in between re-runs the
+    cell; the merge deduplicates).
+    """
+    directory = os.fspath(directory)
+    for path in (
+        os.path.join(_queue_dir(directory), f"{cell_name}.json"),
+        os.path.join(_lease_dir(directory), f"{cell_name}.lease"),
+    ):
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+def work_queue(
+    directory: Union[str, os.PathLike],
+    token: Optional[str] = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    max_cells: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> int:
+    """Drain cells from a queue directory until none are claimable.
+
+    The worker claims a cell (atomic lease), runs it through
+    :func:`~repro.campaign.executor.run_cell` (fault-isolated: a crashing
+    cell becomes an error record, not a dead worker), journals the record
+    (fsync'd JSONL), dequeues the cell, and repeats.  ``max_cells`` bounds
+    the number of cells this worker takes (tests and load shaping); the
+    return value is the number of cells executed.
+    """
+    directory = os.fspath(directory)
+    if not os.path.isdir(_queue_dir(directory)):
+        raise QueueError(
+            f"{directory!r} is not a campaign queue directory "
+            "(run 'repro sweep enqueue <spec> <dir>' first)"
+        )
+    token = token or worker_token()
+    session = get_telemetry()
+    executed = 0
+    with CellJournal(os.path.join(journal_dir(directory), f"{token}.jsonl")) as journal:
+        with session.span("queue.work", directory=directory, worker=token):
+            counter = session.counter("queue.cells_executed") if session.enabled else None
+            while max_cells is None or executed < max_cells:
+                claimed = claim_cell(directory, token, lease_ttl=lease_ttl)
+                if claimed is None:
+                    break
+                cell_name, payload = claimed
+                with session.span("queue.cell", cell=payload.get("cell_id", cell_name)):
+                    record = run_cell(payload)
+                record["worker"] = token
+                journal.append(record)
+                complete_cell(directory, cell_name)
+                executed += 1
+                if counter is not None:
+                    counter.value += 1
+                if progress is not None:
+                    progress(executed, executed, record)
+    session.flush()
+    return executed
+
+
+def _preferred(old: Optional[Dict[str, Any]], new: Dict[str, Any]) -> Dict[str, Any]:
+    """Deduplicate two records for the same cell: an ok record always wins
+    (re-runs are deterministic, so two ok records are interchangeable — the
+    first seen is kept for stability)."""
+    if old is None:
+        return new
+    if old.get("status") != "ok" and new.get("status") == "ok":
+        return new
+    return old
+
+
+@dataclass
+class MergeResult:
+    """What one merge pass produced."""
+
+    document: Dict[str, Any]
+    paths: Dict[str, str]
+    records: int = 0
+    from_journals: int = 0
+    from_previous: int = 0
+    pending: List[str] = field(default_factory=list)
+    reclaimed_leases: int = 0
+    skipped_lines: int = 0
+    workers: List[str] = field(default_factory=list)
+
+
+def merge_queue(
+    directory: Union[str, os.PathLike],
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+) -> MergeResult:
+    """Fold worker journals (and any previous artifact) into ``results.json``.
+
+    * Journal records and the records of an existing merged ``results.json``
+      are deduplicated by ``cell_id`` (ok preferred — see :func:`_preferred`),
+      re-indexed against the spec, and written atomically through
+      :func:`~repro.campaign.artifacts.write_results`.
+    * Leases whose heartbeat exceeded ``lease_ttl`` are reclaimed (their
+      workers are dead), so the cells they held become claimable again.
+    * Cells still queued without an ok record are reported as ``pending``
+      and the document is stamped ``"interrupted": true`` so resume flows
+      treat the artifact as incomplete.
+    """
+    directory = os.fspath(directory)
+    spec = load_queue_spec(directory)
+    session = get_telemetry()
+
+    by_cell: Dict[str, Dict[str, Any]] = {}
+    from_previous = 0
+    previous_path = results_path(directory)
+    if os.path.exists(previous_path):
+        for record in load_results(previous_path).get("records", []):
+            by_cell[record["cell_id"]] = _preferred(by_cell.get(record["cell_id"]), record)
+            from_previous += 1
+
+    from_journals = 0
+    skipped_lines = 0
+    workers: List[str] = []
+    journals_dir = journal_dir(directory)
+    if os.path.isdir(journals_dir):
+        for name in sorted(os.listdir(journals_dir)):
+            if not name.endswith(".jsonl"):
+                continue
+            workers.append(name[: -len(".jsonl")])
+            records, skipped = read_journal(os.path.join(journals_dir, name))
+            skipped_lines += skipped
+            for record in records:
+                by_cell[record["cell_id"]] = _preferred(by_cell.get(record["cell_id"]), record)
+                from_journals += 1
+
+    # Reclaim expired leases so dead workers' cells are re-queued, and drop
+    # leases/payloads for cells that already completed (a worker died in the
+    # journal-then-dequeue window).
+    reclaimed = 0
+    lease_dir = _lease_dir(directory)
+    queue_dir = _queue_dir(directory)
+    cell_files = {}
+    if os.path.isdir(queue_dir):
+        for name in sorted(os.listdir(queue_dir)):
+            if name.endswith(".json"):
+                cell_files[name[: -len(".json")]] = os.path.join(queue_dir, name)
+    done_ids = {cell_id for cell_id, record in by_cell.items() if record.get("status") == "ok"}
+    pending: List[str] = []
+    cells = spec.expand()
+    name_by_index = {f"cell-{cell.index:04d}": cell for cell in cells}
+    for cell_name, cell_file in cell_files.items():
+        cell = name_by_index.get(cell_name)
+        if cell is not None and cell.cell_id in done_ids:
+            complete_cell(directory, cell_name)
+            continue
+        lease_path = os.path.join(lease_dir, f"{cell_name}.lease")
+        age = _lease_age(lease_path)
+        if age is not None and age > lease_ttl:
+            if _steal_lease(lease_path, "merge"):
+                reclaimed += 1
+        pending.append(cell.cell_id if cell is not None else cell_name)
+
+    # Order the merged records by the spec's cell indices; records for cells
+    # no longer in the spec (a narrowed re-enqueue) are dropped.
+    records: List[Dict[str, Any]] = []
+    for cell in cells:
+        record = by_cell.get(cell.cell_id)
+        if record is not None:
+            record = dict(record)
+            record["index"] = cell.index
+            records.append(record)
+
+    elapsed = sum(float(r.get("elapsed_seconds", 0.0)) for r in records)
+    result = CampaignResult(
+        spec=spec,
+        records=records,
+        jobs=max(1, len(workers)),
+        elapsed_seconds=elapsed,
+        metadata={
+            "resumed": from_previous,
+            "interrupted": bool(pending),
+        },
+    )
+    paths = write_results(result, directory)
+    if session.enabled:
+        session.event(
+            "queue.merged",
+            directory=directory,
+            records=len(records),
+            pending=len(pending),
+            reclaimed=reclaimed,
+            workers=len(workers),
+        )
+        session.flush()
+    document = campaign_to_dict(result)
+    return MergeResult(
+        document=document,
+        paths=paths,
+        records=len(records),
+        from_journals=from_journals,
+        from_previous=from_previous,
+        pending=pending,
+        reclaimed_leases=reclaimed,
+        skipped_lines=skipped_lines,
+        workers=workers,
+    )
+
+
+def _worker_entry(directory: str, token: str, lease_ttl: float) -> None:
+    """Entry point for locally spawned worker processes."""
+    work_queue(directory, token=token, lease_ttl=lease_ttl)
+
+
+def run_queue_sweep(
+    spec: CampaignSpec,
+    directory: Union[str, os.PathLike],
+    workers: int,
+    completed: Optional[Dict[str, Dict[str, Any]]] = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
+    telemetry: bool = False,
+    profile_dir: Optional[str] = None,
+) -> MergeResult:
+    """Enqueue ``spec``, drain it with ``workers`` local processes, merge.
+
+    This is ``repro sweep SPEC --workers N``: the local convenience wrapper
+    over the same queue protocol remote workers speak — the directory can be
+    drained by additional ``repro sweep work DIR`` processes on other hosts
+    at the same time.  ``workers <= 0`` means one per CPU.
+    """
+    import multiprocessing
+
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    directory = os.fspath(directory)
+    enqueued = enqueue_campaign(
+        spec, directory, completed=completed, telemetry=telemetry, profile_dir=profile_dir
+    )
+    workers = min(workers, max(1, enqueued))
+    session = get_telemetry()
+    with session.span("queue.sweep", directory=directory, workers=workers, cells=enqueued):
+        processes = [
+            multiprocessing.Process(
+                target=_worker_entry,
+                args=(directory, f"{worker_token()}-w{rank}", lease_ttl),
+            )
+            for rank in range(workers)
+        ]
+        for process in processes:
+            process.start()
+        try:
+            for process in processes:
+                process.join()
+        except KeyboardInterrupt:
+            # Stop the fleet but keep everything already journaled: the merge
+            # below writes a partial artifact stamped "interrupted".
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join()
+    return merge_queue(directory, lease_ttl=lease_ttl)

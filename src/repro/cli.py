@@ -72,20 +72,28 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_parser = subparsers.add_parser(
         "sweep",
         help=(
-            "run a campaign spec (workloads x allocators x costs x devices), "
-            "or 'repro sweep report DIR' to re-render recorded artifacts"
+            "run a campaign spec (workloads x allocators x costs x devices); "
+            "subcommands: report DIR, enqueue SPEC DIR, work DIR, merge DIR, "
+            "diff BASELINE CANDIDATE"
         ),
     )
     sweep_parser.add_argument(
         "spec",
-        help="path to a campaign spec JSON file, or the literal 'report'",
+        help=(
+            "path to a campaign spec JSON file, or one of the literals "
+            "'report', 'enqueue', 'work', 'merge', 'diff'"
+        ),
     )
     sweep_parser.add_argument(
-        "report_dir",
-        nargs="?",
-        default=None,
-        metavar="DIR",
-        help="campaign artifact directory (only with 'repro sweep report DIR')",
+        "args",
+        nargs="*",
+        default=[],
+        metavar="ARG",
+        help=(
+            "subcommand arguments: report DIR | enqueue SPEC DIR | work DIR | "
+            "merge DIR | diff BASELINE CANDIDATE (artifact dirs or "
+            "results.json paths)"
+        ),
     )
     sweep_parser.add_argument(
         "--cell",
@@ -98,7 +106,19 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         metavar="N",
-        help="worker processes (default 1 = serial; 0 = one per CPU)",
+        help="worker processes in one pool (default 1 = serial; 0 = one per CPU)",
+    )
+    sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run the sweep through the file-backed work queue with N local "
+            "worker processes (0 = one per CPU), then merge; the queue "
+            "directory is <out>, and more 'repro sweep work <out>' workers "
+            "may join from other hosts on a shared filesystem"
+        ),
     )
     sweep_parser.add_argument(
         "--out",
@@ -116,8 +136,9 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help=(
-            "skip cells already recorded ok in DIR/results.json and only run "
-            "the missing or failed ones (artifacts default to DIR)"
+            "skip cells already recorded ok in DIR/results.json (or its "
+            "crash-safe journals) and only run the missing or failed ones "
+            "(artifacts default to DIR)"
         ),
     )
     sweep_parser.add_argument(
@@ -136,6 +157,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="dump a cProfile .pstats file per cell under <out>/profiles/",
+    )
+    sweep_parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "(work/merge/--workers) seconds before an unheartbeated lease is "
+            "presumed dead and its cell re-queued (default 300; must exceed "
+            "the longest single cell)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--max-cells",
+        type=int,
+        default=None,
+        metavar="N",
+        help="(work) stop this worker after N cells instead of draining the queue",
+    )
+    sweep_parser.add_argument(
+        "--tolerance",
+        action="append",
+        default=[],
+        metavar="METRIC=PCT",
+        help=(
+            "(diff) allow METRIC to rise by up to PCT percent before it "
+            "counts as a regression (repeatable; unlisted metrics are exact)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help=(
+            "(diff) exit 1 on any metric regression, missing cell, or newly "
+            "erroring cell — the CI gate mode"
+        ),
     )
 
     trace_parser = subparsers.add_parser("trace", help="trace file utilities")
@@ -227,14 +284,14 @@ def _cmd_sweep_report(args: argparse.Namespace) -> int:
 
     from repro.campaign import load_results, sweep_report
 
-    if args.report_dir is None:
+    if not args.args:
         print(
             "repro sweep report: name the campaign artifact directory "
             "(repro sweep report <dir>)",
             file=sys.stderr,
         )
         return 2
-    results_path = os.path.join(args.report_dir, "results.json")
+    results_path = os.path.join(args.args[0], "results.json")
     try:
         document = load_results(results_path)
     except (OSError, ValueError) as error:
@@ -248,14 +305,218 @@ def _cmd_sweep_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_artifact(target: str):
+    """Load a results document from an artifact directory or a file path."""
+    import os
+
+    from repro.campaign import load_results
+
+    path = os.path.join(target, "results.json") if os.path.isdir(target) else target
+    return path, load_results(path)
+
+
+def _cmd_sweep_enqueue(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.campaign import CampaignSpec, completed_records, enqueue_campaign, load_results
+    from repro.campaign.queue import QueueError, results_path
+
+    if len(args.args) != 1:
+        print(
+            "repro sweep enqueue: usage: repro sweep enqueue <spec.json> <dir>",
+            file=sys.stderr,
+        )
+        return 2
+    spec_file, directory = args.spec_file, args.args[0]
+    try:
+        spec = CampaignSpec.from_json(spec_file)
+    except (OSError, ValueError) as error:
+        print(f"repro sweep enqueue: cannot load spec {spec_file!r}: {error}", file=sys.stderr)
+        return 2
+    # A previously merged artifact in the directory is the resume point:
+    # cells it records ok are not re-enqueued (the merge keeps their records).
+    completed = None
+    merged = results_path(directory)
+    if os.path.exists(merged):
+        try:
+            document = load_results(merged)
+        except (OSError, ValueError) as error:
+            print(f"repro sweep enqueue: cannot read {merged!r}: {error}", file=sys.stderr)
+            return 2
+        if int(document.get("seed", 0)) != spec.seed or document.get("campaign") != spec.name:
+            print(
+                f"repro sweep enqueue: {directory!r} holds artifacts of campaign "
+                f"{document.get('campaign')!r} (seed {document.get('seed')}); "
+                "use a fresh directory",
+                file=sys.stderr,
+            )
+            return 2
+        if document.get("spec", {}).get("observers", []) != spec.observers:
+            print(
+                f"repro sweep enqueue: observer configuration changed since "
+                f"{merged!r} was recorded; use a fresh directory",
+                file=sys.stderr,
+            )
+            return 2
+        completed = completed_records(document)
+    try:
+        enqueued = enqueue_campaign(
+            spec,
+            directory,
+            completed=completed,
+            telemetry=args.telemetry is not None,
+            profile_dir=os.path.join(directory, "profiles") if args.profile else None,
+        )
+    except (QueueError, ValueError) as error:
+        print(f"repro sweep enqueue: {error}", file=sys.stderr)
+        return 2
+    skipped = len(completed) if completed else 0
+    line = f"enqueued {enqueued} cell(s) into {directory}"
+    if skipped:
+        line += f" ({skipped} already complete in results.json)"
+    print(line)
+    print(f"drain with: repro sweep work {directory}  (any number of workers)")
+    print(f"then merge: repro sweep merge {directory}")
+    return 0
+
+
+def _cmd_sweep_work(args: argparse.Namespace) -> int:
+    from repro.campaign import work_queue
+    from repro.campaign.queue import DEFAULT_LEASE_TTL, QueueError, worker_token
+
+    if len(args.args) != 1:
+        print("repro sweep work: usage: repro sweep work <dir>", file=sys.stderr)
+        return 2
+    directory = args.args[0]
+    token = worker_token()
+
+    def progress(done, _total, record):
+        if not args.quiet:
+            status = "ok   " if record["status"] == "ok" else "ERROR"
+            print(
+                f"[{token}] {status} {record['cell_id']} "
+                f"({record['elapsed_seconds']:.2f}s, {done} done)",
+                file=sys.stderr,
+            )
+
+    try:
+        executed = work_queue(
+            directory,
+            token=token,
+            lease_ttl=args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL,
+            max_cells=args.max_cells,
+            progress=progress,
+        )
+    except (QueueError, OSError) as error:
+        print(f"repro sweep work: {error}", file=sys.stderr)
+        return 2
+    print(f"worker {token}: executed {executed} cell(s) from {directory}")
+    return 0
+
+
+def _cmd_sweep_merge(args: argparse.Namespace) -> int:
+    from repro.campaign import document_table, merge_queue
+    from repro.campaign.queue import DEFAULT_LEASE_TTL, QueueError
+
+    if len(args.args) != 1:
+        print("repro sweep merge: usage: repro sweep merge <dir>", file=sys.stderr)
+        return 2
+    try:
+        merged = merge_queue(
+            args.args[0],
+            lease_ttl=args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL,
+        )
+    except (QueueError, ValueError, OSError) as error:
+        print(f"repro sweep merge: {error}", file=sys.stderr)
+        return 2
+    print(document_table(merged.document).to_text())
+    print()
+    summary = (
+        f"merged {merged.records} record(s) "
+        f"({merged.from_journals} from {len(merged.workers)} worker journal(s), "
+        f"{merged.from_previous} carried from the previous artifact)"
+    )
+    if merged.reclaimed_leases:
+        summary += f"; reclaimed {merged.reclaimed_leases} expired lease(s)"
+    if merged.skipped_lines:
+        summary += f"; skipped {merged.skipped_lines} truncated journal line(s)"
+    print(summary)
+    if merged.pending:
+        print(
+            f"pending: {len(merged.pending)} cell(s) still queued — keep workers "
+            "running and merge again"
+        )
+    print(f"artifacts: {merged.paths['results']}  {merged.paths['csv']}")
+    errors = merged.document.get("errors", 0)
+    return 1 if errors else 0
+
+
+def _cmd_sweep_diff(args: argparse.Namespace) -> int:
+    from repro.campaign import ToleranceError, diff_documents, diff_table, parse_tolerances
+
+    if len(args.args) != 2:
+        print(
+            "repro sweep diff: usage: repro sweep diff <baseline> <candidate> "
+            "[--tolerance metric=pct] [--fail-on-regression] "
+            "(artifact directories or results.json paths)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        tolerances = parse_tolerances(args.tolerance)
+    except ToleranceError as error:
+        print(f"repro sweep diff: {error}", file=sys.stderr)
+        return 2
+    documents = []
+    for target in args.args:
+        try:
+            path, document = _load_artifact(target)
+        except (OSError, ValueError) as error:
+            print(f"repro sweep diff: cannot load {target!r}: {error}", file=sys.stderr)
+            return 2
+        documents.append(document)
+    diff = diff_documents(documents[0], documents[1], tolerances=tolerances)
+    print(diff_table(diff).to_text())
+    if diff.regressions:
+        print()
+        print(
+            f"{len(diff.regressions)} metric regression(s) beyond tolerance "
+            f"across {len({d.cell_id for d in diff.regressions})} cell(s)"
+        )
+    if args.fail_on_regression and diff.gate_failures:
+        print(
+            f"repro sweep diff: gate FAILED ({len(diff.regressions)} regression(s), "
+            f"{len(diff.missing_cells)} missing cell(s), "
+            f"{len(diff.new_errors)} new error(s))",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     import os
 
     if args.spec == "report":
         return _cmd_sweep_report(args)
-    if args.report_dir is not None:
+    if args.spec == "work":
+        return _cmd_sweep_work(args)
+    if args.spec == "merge":
+        return _cmd_sweep_merge(args)
+    if args.spec == "diff":
+        return _cmd_sweep_diff(args)
+    if args.spec == "enqueue":
+        if not args.args:
+            print(
+                "repro sweep enqueue: usage: repro sweep enqueue <spec.json> <dir>",
+                file=sys.stderr,
+            )
+            return 2
+        args.spec_file, args.args = args.args[0], args.args[1:]
+        return _cmd_sweep_enqueue(args)
+    if args.args:
         print(
-            f"repro sweep: unexpected extra argument {args.report_dir!r} "
+            f"repro sweep: unexpected extra argument {args.args[0]!r} "
             "(did you mean 'repro sweep report <dir>'?)",
             file=sys.stderr,
         )
@@ -306,6 +567,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         else:
             completed = completed_records(document)
+            # Crash-safe journals may hold records the (possibly interrupted)
+            # artifact never received — fold them in so finished work is
+            # never re-run.
+            completed.update(_journaled_records(args.resume, spec, completed))
     # The artifact directory is settled before the run so the default
     # telemetry log and the per-cell profile dumps can live inside it.
     out_dir = args.out
@@ -329,7 +594,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
             return 2
     profile_dir = os.path.join(out_dir, "profiles") if args.profile else None
+
+    if args.workers is not None:
+        code = _run_queue_mode(args, spec, out_dir, completed, profile_dir)
+        if telemetry_session is not None:
+            telemetry_session.close()
+            from repro.obs import reset_telemetry
+
+            reset_telemetry()
+        return code
+
     reporter = None if args.quiet else ProgressReporter()
+    from repro.campaign import CellJournal
+    from repro.campaign.queue import journal_dir, worker_token
+
+    journal = CellJournal(os.path.join(journal_dir(out_dir), f"{worker_token()}.jsonl"))
     try:
         result = run_campaign(
             spec,
@@ -338,6 +617,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             completed=completed,
             telemetry=args.telemetry is not None,
             profile_dir=profile_dir,
+            journal=journal,
         )
     except SpecError as error:
         # Matrix-level spec problems (e.g. a trace_recorder path shared by
@@ -346,6 +626,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"repro sweep: {error}", file=sys.stderr)
         return 2
     finally:
+        journal.close()
         if telemetry_session is not None:
             telemetry_session.close()
             reset_telemetry()
@@ -354,15 +635,90 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if result.metadata.get("resumed"):
         print(f"resumed: {result.metadata['resumed']} cell(s) reused from {args.resume}")
     paths = write_results(result, out_dir)
+    # The artifact now holds everything the journal does; drop the journal
+    # so a later --resume folds one copy, not two.
+    try:
+        os.unlink(journal.path)
+    except OSError:
+        pass
     print(campaign_table(result).to_text())
     print()
     artifact_line = f"artifacts: {paths['results']}  {paths['csv']}"
     if telemetry_path is not None:
         artifact_line += f"  {telemetry_path}"
     print(artifact_line)
+    if result.metadata.get("interrupted"):
+        print(
+            f"interrupted: {len(result.records)} record(s) saved; finish with "
+            f"repro sweep {args.spec} --resume {out_dir}",
+            file=sys.stderr,
+        )
+        return 130
     # Any failed cell makes the sweep exit nonzero so CI can gate on it; the
     # sweep itself still ran to completion and wrote every record.
     return 1 if result.error_records else 0
+
+
+def _journaled_records(directory: str, spec, completed):
+    """Ok records from crash-safe journals under ``directory`` that the
+    merged artifact does not already carry (resume after a hard crash)."""
+    import os
+
+    from repro.campaign.executor import RECORD_VERSION
+    from repro.campaign.queue import journal_dir, read_journal
+
+    journals = journal_dir(directory)
+    recovered = {}
+    if not os.path.isdir(journals):
+        return recovered
+    for name in sorted(os.listdir(journals)):
+        if not name.endswith(".jsonl"):
+            continue
+        records, _skipped = read_journal(os.path.join(journals, name))
+        for record in records:
+            cell_id = record.get("cell_id")
+            if (
+                record.get("status") == "ok"
+                and record.get("record_version") == RECORD_VERSION
+                and cell_id not in completed
+            ):
+                recovered[cell_id] = record
+    return recovered
+
+
+def _run_queue_mode(args: argparse.Namespace, spec, out_dir, completed, profile_dir) -> int:
+    from repro.campaign import SpecError, document_table, run_queue_sweep
+    from repro.campaign.queue import DEFAULT_LEASE_TTL, QueueError
+
+    try:
+        merged = run_queue_sweep(
+            spec,
+            out_dir,
+            workers=args.workers,
+            completed=completed,
+            lease_ttl=args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL,
+            telemetry=args.telemetry is not None,
+            profile_dir=profile_dir,
+        )
+    except (QueueError, SpecError) as error:
+        print(f"repro sweep: {error}", file=sys.stderr)
+        return 2
+    print(document_table(merged.document).to_text())
+    print()
+    if completed:
+        print(f"resumed: {len(completed)} cell(s) reused from {args.resume}")
+    print(
+        f"queue: {merged.from_journals} record(s) from {len(merged.workers)} worker(s)"
+    )
+    print(f"artifacts: {merged.paths['results']}  {merged.paths['csv']}")
+    if merged.pending:
+        print(
+            f"interrupted: {len(merged.pending)} cell(s) still queued; finish with "
+            f"repro sweep work {out_dir} + repro sweep merge {out_dir}",
+            file=sys.stderr,
+        )
+        return 130
+    return 1 if merged.document.get("errors", 0) else 0
 
 
 def _cmd_trace_analyze(args: argparse.Namespace) -> int:

@@ -12,9 +12,13 @@ maintaining the same gap set in two orders at once:
   sizes (for rank queries, which Next Fit's roving pointer needs), and whose
   key order gives the predecessor/successor probes that make coalescing a
   pair of O(log n) lookups;
-* a **size-ordered bisect list** of ``(length, start)`` pairs, where the
-  Best Fit answer is the first entry at or above the request size and the
-  Worst Fit answer is the lowest-addressed entry of the maximum length.
+* a **size-ordered treap** over ``(length, start)`` keys, where the Best
+  Fit answer is the ceiling of the request size and the Worst Fit answer is
+  the lowest-addressed key of the maximum length — both O(log n) descents.
+  (Earlier revisions kept this order in a flat ``bisect``/``insort`` list,
+  which answers the queries in O(log n) but pays O(n) memmove per insert
+  and delete; with hundreds of thousands of live gaps the *mutations*
+  dominated, see ``benchmarks/bench_address_space.py``.)
 
 Every policy answer is *identical* to the one the linear scans produce —
 the index changes the cost of a query, never its result.  A running total
@@ -27,7 +31,6 @@ and therefore runtimes — are reproducible; results never depend on shape.
 from __future__ import annotations
 
 import random
-from bisect import bisect_left, insort
 from typing import Iterator, List, Optional, Tuple
 
 from repro.obs.telemetry import get_telemetry
@@ -142,6 +145,94 @@ def _fit_at_or_after(node: Optional[_Node], rank: int, size: int) -> Optional[Tu
     return None
 
 
+class _SizeNode:
+    """Node of the size-ordered treap: keyed by ``(length, start)``."""
+
+    __slots__ = ("key", "priority", "left", "right")
+
+    def __init__(self, key: Tuple[int, int], priority: int) -> None:
+        self.key = key
+        self.priority = priority
+        self.left: Optional[_SizeNode] = None
+        self.right: Optional[_SizeNode] = None
+
+
+def _size_split(
+    root: Optional[_SizeNode], key: Tuple[int, int]
+) -> Tuple[Optional[_SizeNode], Optional[_SizeNode]]:
+    """Split into (< key, > key) subtrees; ``key`` itself must be absent."""
+    if root is None:
+        return None, None
+    if root.key < key:
+        left, right = _size_split(root.right, key)
+        root.right = left
+        return root, right
+    left, right = _size_split(root.left, key)
+    root.left = right
+    return left, root
+
+
+def _size_insert(root: Optional[_SizeNode], node: _SizeNode) -> _SizeNode:
+    if root is None:
+        return node
+    if node.priority > root.priority:
+        node.left, node.right = _size_split(root, node.key)
+        return node
+    if node.key < root.key:
+        root.left = _size_insert(root.left, node)
+    else:
+        root.right = _size_insert(root.right, node)
+    return root
+
+
+def _size_merge(
+    left: Optional[_SizeNode], right: Optional[_SizeNode]
+) -> Optional[_SizeNode]:
+    if left is None:
+        return right
+    if right is None:
+        return left
+    if left.priority > right.priority:
+        left.right = _size_merge(left.right, right)
+        return left
+    right.left = _size_merge(left, right.left)
+    return right
+
+
+def _size_delete(root: _SizeNode, key: Tuple[int, int]) -> Optional[_SizeNode]:
+    if root.key == key:
+        return _size_merge(root.left, root.right)
+    if key < root.key:
+        assert root.left is not None, f"no size entry {key}"
+        root.left = _size_delete(root.left, key)
+    else:
+        assert root.right is not None, f"no size entry {key}"
+        root.right = _size_delete(root.right, key)
+    return root
+
+
+def _size_ceiling(
+    root: Optional[_SizeNode], probe: Tuple[int, ...]
+) -> Optional[Tuple[int, int]]:
+    """Smallest key >= ``probe`` (a 1-tuple probe sorts before every
+    ``(length, start)`` key of that length, so ``(size,)`` finds the
+    tightest fitting gap, address-lowest on ties)."""
+    found: Optional[Tuple[int, int]] = None
+    while root is not None:
+        if root.key >= probe:
+            found = root.key
+            root = root.left
+        else:
+            root = root.right
+    return found
+
+
+def _size_max(root: _SizeNode) -> Tuple[int, int]:
+    while root.right is not None:
+        root = root.right
+    return root.key
+
+
 def _delete(root: _Node, start: int) -> Optional[_Node]:
     if root.start == start:
         return _merge(root.left, root.right)
@@ -159,7 +250,7 @@ class GapIndex:
 
     def __init__(self) -> None:
         self._root: Optional[_Node] = None
-        self._by_size: List[Tuple[int, int]] = []
+        self._size_root: Optional[_SizeNode] = None
         self._total = 0
         self._rng = random.Random(0x9A95)
         # Telemetry counters are bound once, at construction, and only when
@@ -221,7 +312,8 @@ class GapIndex:
             counter.value += 1
         node = _Node(extent.start, extent.length, self._rng.getrandbits(62))
         self._root = _insert(self._root, node)
-        insort(self._by_size, (extent.length, extent.start))
+        size_node = _SizeNode((extent.length, extent.start), self._rng.getrandbits(62))
+        self._size_root = _size_insert(self._size_root, size_node)
         self._total += extent.length
 
     def remove(self, start: int) -> Extent:
@@ -237,7 +329,8 @@ class GapIndex:
         if counter is not None:
             counter.value += 1
         self._root = _delete(self._root, start)
-        del self._by_size[bisect_left(self._by_size, (length, start))]
+        assert self._size_root is not None, f"no gap at {start}"
+        self._size_root = _size_delete(self._size_root, (length, start))
         self._total -= length
 
     def take(self, start: int, size: int) -> None:
@@ -309,20 +402,24 @@ class GapIndex:
         counter = self._c_queries
         if counter is not None:
             counter.value += 1
-        pos = bisect_left(self._by_size, (size,))
-        if pos == len(self._by_size):
+        found = _size_ceiling(self._size_root, (size,))
+        if found is None:
             return None
-        return self._by_size[pos][1]
+        return found[1]
 
     def worst_fit(self, size: int) -> Optional[int]:
         """Start of the widest gap (address-lowest on ties), if it fits."""
         counter = self._c_queries
         if counter is not None:
             counter.value += 1
-        if not self._by_size or self._by_size[-1][0] < size:
+        if self._size_root is None:
             return None
-        widest = self._by_size[-1][0]
-        return self._by_size[bisect_left(self._by_size, (widest,))][1]
+        widest = _size_max(self._size_root)[0]
+        if widest < size:
+            return None
+        found = _size_ceiling(self._size_root, (widest,))
+        assert found is not None  # the max key itself is >= (widest,)
+        return found[1]
 
     def next_fit(self, size: int, rover: int) -> Optional[Tuple[int, int]]:
         """``(rank, start)`` of the gap Next Fit's cyclic probe picks.

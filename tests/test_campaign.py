@@ -448,3 +448,171 @@ def test_streamed_replay_workload_builds_a_source(tmp_path):
     # provenance stamping works on sources too
     assert built.metadata["workload"] == entry
     assert built.metadata["seed"] == 9
+
+
+# ----------------------------------------------------- crash-safe artifacts
+def test_atomic_write_keeps_the_old_file_when_the_writer_dies(tmp_path):
+    from repro.campaign import atomic_write
+
+    path = tmp_path / "results.json"
+    atomic_write(path, lambda handle: handle.write('{"ok": true}'))
+    assert json.loads(path.read_text(encoding="utf-8")) == {"ok": True}
+
+    def dying_writer(handle):
+        handle.write('{"ok": fal')  # a partial document...
+        raise RuntimeError("killed mid-stream")  # ...then the process dies
+
+    with pytest.raises(RuntimeError):
+        atomic_write(path, dying_writer)
+    # The published file never saw the partial write.
+    assert json.loads(path.read_text(encoding="utf-8")) == {"ok": True}
+
+
+def test_write_results_is_atomic_under_mid_stream_death(tmp_path, monkeypatch):
+    spec = small_spec()
+    result = run_campaign(spec)
+    out = tmp_path / "out"
+    write_results(result, out)
+    before = load_results(out / "results.json")
+
+    # Kill the next write partway through the JSON dump: the record list
+    # contains an object the serializer chokes on after emitting a prefix.
+    result.records.append({"cell_id": "late", "status": "ok", "boom": object()})
+    with pytest.raises(TypeError):
+        write_results(result, out)
+    assert load_results(out / "results.json") == before  # old artifact intact
+
+
+def test_load_results_raises_artifact_error_on_truncated_json(tmp_path):
+    from repro.campaign import ArtifactError
+
+    spec = small_spec()
+    out = tmp_path / "out"
+    write_results(run_campaign(spec), out)
+    path = out / "results.json"
+    full = path.read_text(encoding="utf-8")
+    path.write_text(full[: len(full) // 2], encoding="utf-8")
+    with pytest.raises(ArtifactError, match="truncated or corrupt"):
+        load_results(path)
+    with pytest.raises(ArtifactError, match=str(path).replace("\\", "\\\\")):
+        load_results(path)  # the message names the offending path
+
+
+def test_cli_surfaces_corrupt_artifacts_as_exit_2(tmp_path, capsys):
+    spec_path = write_spec(tmp_path)
+    out = tmp_path / "out"
+    assert main(["sweep", str(spec_path), "--out", str(out), "--quiet"]) == 0
+    capsys.readouterr()
+    path = out / "results.json"
+    full = path.read_text(encoding="utf-8")
+    path.write_text(full[: len(full) // 2], encoding="utf-8")
+    assert main(["sweep", "report", str(out)]) == 2
+    assert "truncated or corrupt" in capsys.readouterr().err
+    assert main(["sweep", str(spec_path), "--resume", str(out), "--quiet"]) == 2
+    assert "truncated or corrupt" in capsys.readouterr().err
+
+
+# ------------------------------------------------------- interrupt handling
+def test_interrupt_mid_campaign_keeps_completed_cells():
+    """Ctrl-C after the first of 4 cells must not discard its record."""
+    spec = small_spec(costs=["linear"])  # 4 cells
+    calls = []
+
+    def interrupt_after_first(done, total, record):
+        calls.append(record["cell_id"])
+        if done == 1:
+            raise KeyboardInterrupt
+
+    result = run_campaign(spec, progress=interrupt_after_first)
+    assert len(result.records) == 1
+    assert result.metadata["interrupted"] is True
+    assert result.metadata["ok"] == 1
+
+    # The artifact carries the stamp, and a resume completes the other 3.
+    from repro.campaign import campaign_to_dict, completed_records
+
+    document = campaign_to_dict(result)
+    assert document["interrupted"] is True
+    resumed = run_campaign(spec, completed=completed_records(document))
+    assert len(resumed.records) == 4
+    assert resumed.metadata["resumed"] == 1
+    assert resumed.metadata["interrupted"] is False
+    assert "interrupted" not in campaign_to_dict(resumed)
+    assert sum(1 for r in resumed.records if r.get("resumed")) == 1
+    baseline = run_campaign(spec)
+    strip = lambda records: comparable(
+        [{k: v for k, v in r.items() if k != "resumed"} for r in records]
+    )
+    assert strip(resumed.records) == strip(baseline.records)
+
+
+def test_cli_interrupted_sweep_writes_artifact_and_resume_finishes(
+    tmp_path, capsys, monkeypatch
+):
+    """Kill the sweep after cell 1 of 4: the artifact holds 1 record and is
+    stamped interrupted (exit 130); --resume reruns exactly the missing 3."""
+    import repro.campaign.executor as executor_module
+
+    spec_path = write_spec(
+        tmp_path,
+        workloads=[
+            {"kind": "churn", "requests": 150, "target_live": 25},
+            {"kind": "grow_shrink", "requests": 120},
+        ],
+    )
+    out = tmp_path / "out"
+    real_run_cell = executor_module.run_cell
+    ran = []
+
+    def run_one_then_die(payload):
+        if ran:
+            raise KeyboardInterrupt
+        ran.append(payload["cell_id"])
+        return real_run_cell(payload)
+
+    monkeypatch.setattr(executor_module, "run_cell", run_one_then_die)
+    assert main(["sweep", str(spec_path), "--out", str(out), "--quiet"]) == 130
+    captured = capsys.readouterr()
+    assert "interrupted: 1 record(s) saved" in captured.err
+    assert f"--resume {out}" in captured.err
+    document = load_results(out / "results.json")
+    assert document["interrupted"] is True
+    assert document["cells"] == 1 and document["ok"] == 1
+
+    monkeypatch.setattr(executor_module, "run_cell", real_run_cell)
+    assert main(["sweep", str(spec_path), "--resume", str(out), "--quiet"]) == 0
+    assert "resumed: 1 cell(s)" in capsys.readouterr().out
+    document = load_results(out / "results.json")
+    assert document["cells"] == 4 and document["ok"] == 4
+    assert "interrupted" not in document
+
+
+def test_cli_resume_folds_journal_records_after_a_hard_crash(tmp_path, capsys):
+    """A crash that never reached the artifact writer leaves the finished
+    records only in the journal; --resume must still not re-run them."""
+    from repro.campaign.queue import journal_dir, read_journal
+
+    spec_path = write_spec(tmp_path)
+    out, crashed = tmp_path / "out", tmp_path / "crashed"
+    assert main(["sweep", str(spec_path), "--out", str(out), "--quiet"]) == 0
+    # Build the crash scene: a valid (older, empty) artifact plus a journal
+    # holding one finished record that never made it into results.json.
+    assert main(["sweep", str(spec_path), "--out", str(crashed), "--quiet"]) == 0
+    document = load_results(crashed / "results.json")
+    survivor = document["records"][0]
+    document["records"] = []
+    document["cells"] = document["ok"] = 0
+    (crashed / "results.json").write_text(json.dumps(document), encoding="utf-8")
+    journal_path = journal_dir(crashed) + "/crashed-worker.jsonl"
+    import os
+
+    os.makedirs(journal_dir(crashed), exist_ok=True)
+    with open(journal_path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(survivor) + "\n")
+    capsys.readouterr()
+    assert main(["sweep", str(spec_path), "--resume", str(crashed), "--quiet"]) == 0
+    assert "resumed: 1 cell(s)" in capsys.readouterr().out
+    merged = load_results(crashed / "results.json")
+    assert merged["cells"] == 2 and merged["ok"] == 2
+    restored = next(r for r in merged["records"] if r["cell_id"] == survivor["cell_id"])
+    assert restored.get("resumed") is True

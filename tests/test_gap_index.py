@@ -346,3 +346,45 @@ def test_gap_index_scan_wraps_in_address_order():
     # A rover past the end clamps to the last gap, like the seed scan.
     assert [s for _, s, _ in gaps.scan(99)] == [30, 0, 10, 20]
     assert list(GapIndex().scan(0)) == []
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    script=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=60)),
+        min_size=1,
+        max_size=200,
+    ),
+    sizes=st.lists(st.integers(min_value=1, max_value=14), min_size=1, max_size=6),
+)
+def test_size_treap_best_and_worst_fit_agree_with_a_sorted_list(script, sizes):
+    """Pin the size-ordered treap to the flat sorted-list oracle it replaced:
+    after every add/remove, best_fit is the bisect ceiling of the request and
+    worst_fit is the lowest-addressed entry of the maximum length."""
+    from bisect import bisect_left, insort
+
+    gaps = GapIndex()
+    oracle = []  # sorted (length, start) pairs, exactly the old _by_size list
+    for add, slot in script:
+        start = slot * 16  # disjoint, non-adjacent by construction
+        length = (slot % 12) + 1
+        if add:
+            if gaps.length_at(start) is not None:
+                continue
+            gaps.add(Extent(start, length))
+            insort(oracle, (length, start))
+        else:
+            if gaps.length_at(start) is None:
+                continue
+            gaps.remove(start)
+            del oracle[bisect_left(oracle, (length, start))]
+        for size in sizes:
+            pos = bisect_left(oracle, (size,))
+            expected_best = oracle[pos][1] if pos < len(oracle) else None
+            assert gaps.best_fit(size) == expected_best, (size, oracle)
+            if not oracle or oracle[-1][0] < size:
+                expected_worst = None
+            else:
+                expected_worst = oracle[bisect_left(oracle, (oracle[-1][0],))][1]
+            assert gaps.worst_fit(size) == expected_worst, (size, oracle)
+    assert gaps.total_free == sum(length for length, _ in oracle)

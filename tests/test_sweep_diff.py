@@ -1,0 +1,222 @@
+"""Tests for cross-campaign diffing and the ``sweep diff`` regression gate."""
+
+import json
+import math
+
+import pytest
+
+from repro.campaign import (
+    ToleranceError,
+    diff_documents,
+    diff_table,
+    parse_tolerances,
+)
+from repro.cli import main
+
+
+def record(cell_id, status="ok", **metrics):
+    base = {
+        "cell_id": cell_id,
+        "status": status,
+        "max_footprint": 100,
+        "cost_ratio": 2.0,
+        "total_moves": 10,
+    }
+    base.update(metrics)
+    return base
+
+
+def document(name, records):
+    return {
+        "format": "repro-campaign-results",
+        "campaign": name,
+        "seed": 1,
+        "records": records,
+    }
+
+
+# ---------------------------------------------------------------- tolerances
+def test_parse_tolerances():
+    assert parse_tolerances([]) == {}
+    assert parse_tolerances(["cost_ratio=2.5", "total_moves=0"]) == {
+        "cost_ratio": 2.5,
+        "total_moves": 0.0,
+    }
+    assert math.isinf(parse_tolerances(["cost_ratio=inf"])["cost_ratio"])
+    with pytest.raises(ToleranceError, match="must look like metric=pct"):
+        parse_tolerances(["cost_ratio"])
+    with pytest.raises(ToleranceError, match="unknown diff metric"):
+        parse_tolerances(["no_such_metric=1"])
+    with pytest.raises(ToleranceError, match="could not convert"):
+        parse_tolerances(["cost_ratio=abc"])
+    with pytest.raises(ToleranceError, match="non-negative"):
+        parse_tolerances(["cost_ratio=-1"])
+
+
+# --------------------------------------------------------------- diff logic
+def test_identical_documents_have_no_changes():
+    doc = document("a", [record("x"), record("y")])
+    diff = diff_documents(doc, doc)
+    assert diff.compared_cells == 2
+    assert diff.identical_cells == 2
+    assert not diff.changes and not diff.regressions
+    assert diff.gate_failures == 0
+
+
+def test_increase_is_a_regression_and_decrease_is_not():
+    base = document("a", [record("x", cost_ratio=2.0)])
+    worse = document("b", [record("x", cost_ratio=2.2)])
+    better = document("b", [record("x", cost_ratio=1.8)])
+    diff = diff_documents(base, worse)
+    assert [d.metric for d in diff.regressions] == ["cost_ratio"]
+    assert diff.regressions[0].pct == pytest.approx(10.0)
+    diff = diff_documents(base, better)
+    assert diff.changes and not diff.regressions
+
+
+def test_tolerance_allows_bounded_increase():
+    base = document("a", [record("x", cost_ratio=2.0)])
+    cand = document("b", [record("x", cost_ratio=2.02)])  # +1%
+    assert diff_documents(base, cand).regressions  # default tolerance is 0%
+    assert not diff_documents(base, cand, tolerances={"cost_ratio": 2.0}).regressions
+    assert diff_documents(base, cand, tolerances={"cost_ratio": 0.5}).regressions
+
+
+def test_zero_baseline_any_increase_is_a_regression():
+    base = document("a", [record("x", total_moves=0)])
+    cand = document("b", [record("x", total_moves=1)])
+    diff = diff_documents(base, cand)
+    assert len(diff.regressions) == 1
+    assert math.isinf(diff.regressions[0].pct)
+    # A finite percentage tolerance cannot absolve a zero baseline...
+    assert diff_documents(base, cand, tolerances={"total_moves": 1000.0}).regressions
+    # ...only an explicitly infinite one can.
+    assert not diff_documents(base, cand, tolerances={"total_moves": math.inf}).regressions
+
+
+def test_disjoint_cell_sets_are_called_out():
+    base = document("a", [record("x"), record("y")])
+    cand = document("b", [record("y"), record("z")])
+    diff = diff_documents(base, cand)
+    assert diff.missing_cells == ["x"]
+    assert diff.extra_cells == ["z"]
+    assert diff.compared_cells == 1
+    # A lost cell fails the gate; a new cell does not.
+    assert diff.gate_failures == 1
+
+
+def test_error_status_transitions():
+    base = document(
+        "a",
+        [record("ok-both"), record("breaks"), record("fixed", status="error"), record("err-both", status="error")],
+    )
+    cand = document(
+        "b",
+        [record("ok-both"), record("breaks", status="error"), record("fixed"), record("err-both", status="error")],
+    )
+    diff = diff_documents(base, cand)
+    assert diff.new_errors == ["breaks"]
+    assert diff.fixed_errors == ["fixed"]
+    assert diff.both_errors == ["err-both"]
+    assert diff.compared_cells == 1  # only ok-both has comparable metrics
+    assert diff.gate_failures == 1  # the new error
+
+
+def test_missing_metric_on_one_side_is_not_compared():
+    base = document("a", [record("x", device_elapsed_ms=5.0)])
+    cand = document("b", [record("x")])  # no device column (device "none")
+    diff = diff_documents(base, cand)
+    assert not diff.changes
+
+
+def test_diff_table_renders_verdicts_and_notes():
+    base = document("a", [record("x", cost_ratio=2.0, total_moves=0), record("gone")])
+    cand = document("b", [record("x", cost_ratio=2.5, total_moves=0)])
+    table = diff_table(diff_documents(base, cand))
+    text = table.to_text()
+    assert "REGRESSION" in text
+    assert "+25.00%" in text
+    assert any("missing from candidate" in note for note in table.notes)
+
+
+# --------------------------------------------------------------------- CLI
+def write_results_file(tmp_path, name, records):
+    path = tmp_path / f"{name}.json"
+    path.write_text(json.dumps(document(name, records)), encoding="utf-8")
+    return path
+
+
+def test_cli_diff_identical_exits_zero(tmp_path, capsys):
+    a = write_results_file(tmp_path, "a", [record("x")])
+    b = write_results_file(tmp_path, "b", [record("x")])
+    assert main(["sweep", "diff", str(a), str(b), "--fail-on-regression"]) == 0
+    assert "0 regression(s)" in capsys.readouterr().out
+
+
+def test_cli_diff_regression_gates_only_with_the_flag(tmp_path, capsys):
+    a = write_results_file(tmp_path, "a", [record("x", cost_ratio=2.0)])
+    b = write_results_file(tmp_path, "b", [record("x", cost_ratio=3.0)])
+    # Informational by default.
+    assert main(["sweep", "diff", str(a), str(b)]) == 0
+    capsys.readouterr()
+    assert main(["sweep", "diff", str(a), str(b), "--fail-on-regression"]) == 1
+    captured = capsys.readouterr()
+    assert "gate FAILED" in captured.err
+    assert "REGRESSION" in captured.out
+    # Tolerance wide enough to absorb the delta passes the gate.
+    assert (
+        main(
+            [
+                "sweep",
+                "diff",
+                str(a),
+                str(b),
+                "--tolerance",
+                "cost_ratio=60",
+                "--fail-on-regression",
+            ]
+        )
+        == 0
+    )
+
+
+def test_cli_diff_missing_cell_fails_the_gate(tmp_path, capsys):
+    a = write_results_file(tmp_path, "a", [record("x"), record("y")])
+    b = write_results_file(tmp_path, "b", [record("x")])
+    assert main(["sweep", "diff", str(a), str(b), "--fail-on-regression"]) == 1
+    assert "1 missing cell(s)" in capsys.readouterr().err
+
+
+def test_cli_diff_bad_arguments(tmp_path, capsys):
+    a = write_results_file(tmp_path, "a", [record("x")])
+    assert main(["sweep", "diff", str(a)]) == 2
+    assert "usage" in capsys.readouterr().err
+    assert main(["sweep", "diff", str(a), str(tmp_path / "nope.json")]) == 2
+    assert "cannot load" in capsys.readouterr().err
+    assert main(["sweep", "diff", str(a), str(a), "--tolerance", "bogus"]) == 2
+    assert "must look like metric=pct" in capsys.readouterr().err
+
+
+def test_cli_diff_rejects_corrupt_artifacts(tmp_path, capsys):
+    a = write_results_file(tmp_path, "a", [record("x")])
+    truncated = tmp_path / "trunc.json"
+    truncated.write_text(json.dumps(document("b", [record("x")]))[:40], encoding="utf-8")
+    assert main(["sweep", "diff", str(a), str(truncated)]) == 2
+    assert "truncated or corrupt" in capsys.readouterr().err
+
+
+def test_cli_diff_accepts_artifact_directories(tmp_path, capsys):
+    spec = {
+        "name": "dd",
+        "seed": 2,
+        "workloads": [{"kind": "churn", "requests": 100, "target_live": 15}],
+        "allocators": ["first_fit"],
+        "costs": ["linear"],
+    }
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec), encoding="utf-8")
+    out = tmp_path / "out"
+    assert main(["sweep", str(spec_path), "--out", str(out), "--quiet"]) == 0
+    capsys.readouterr()
+    assert main(["sweep", "diff", str(out), str(out), "--fail-on-regression"]) == 0
+    assert "no metric differs" in capsys.readouterr().out
