@@ -30,6 +30,7 @@ from typing import Any, Callable, Dict, List, TextIO, Union
 
 from repro.campaign.executor import CampaignResult
 from repro.campaign.spec import CampaignSpec, entry_tag
+from repro.faults.injector import fault_point
 from repro.harness.results import ExperimentResult
 from repro.obs.format import format_duration
 
@@ -99,13 +100,26 @@ def atomic_write(path: Union[str, os.PathLike], writer: Callable[[TextIO], None]
 
     A crash at any point leaves either the previous file or the complete new
     one — never a truncated hybrid.  The ``.tmp`` sibling lives in the same
-    directory so the replace never crosses filesystems.
+    directory so the replace never crosses filesystems.  Each cut is a
+    named fault site (``artifact.write.body`` / ``.fsync`` / ``.replace``)
+    so the chaos harness can kill the write at every stage; a failed write
+    removes its ``.tmp`` sibling instead of leaving it behind.
     """
     tmp_path = f"{os.fspath(path)}.tmp"
-    with open(tmp_path, "w", encoding="utf-8", newline="") as handle:
-        writer(handle)
-        handle.flush()
-        os.fsync(handle.fileno())
+    try:
+        with open(tmp_path, "w", encoding="utf-8", newline="") as handle:
+            fault_point("artifact.write.body")
+            writer(handle)
+            handle.flush()
+            fault_point("artifact.write.fsync")
+            os.fsync(handle.fileno())
+        fault_point("artifact.write.replace")
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
     os.replace(tmp_path, path)
 
 

@@ -17,7 +17,19 @@ The protocol needs nothing but POSIX file semantics:
 
 * **Claiming** is an ``O_CREAT | O_EXCL`` create of the lease file — atomic
   on any local or NFS filesystem — stamped with the worker's token, pid,
-  host, and claim time.  The lease's mtime is its heartbeat.
+  host, and claim time.  The lease's mtime is its heartbeat, refreshed by
+  a background thread every TTL/4 while the cell runs, so the TTL only has
+  to cover a few missed beats rather than the longest cell.  Expiry checks
+  run through the injectable lease clock and add a skew tolerance (the
+  mtime comes from another host's clock — see
+  :data:`DEFAULT_SKEW_TOLERANCE`).
+* **Fault readiness**: the durability-critical cuts are guarded by named
+  :func:`~repro.faults.injector.fault_point` sites (``queue.lease.claim``,
+  ``queue.journal.append``, ``queue.dequeue``, ...), transient
+  ``OSError``\\ s are retried with bounded jittered backoff
+  (:class:`~repro.faults.retry.RetryPolicy`), and a worker that cannot
+  journal gives the cell back instead of dying — all exercised by the
+  ``repro chaos`` harness.
 * **Completion** appends the finished record (run through the existing
   :func:`~repro.campaign.executor.run_cell` fault isolation) to the worker's
   private JSONL journal — one fsync'd line per cell, so a crash can truncate
@@ -44,20 +56,37 @@ import errno
 import json
 import os
 import socket
+import threading
 import time
+import traceback as _traceback
 import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.campaign.artifacts import campaign_to_dict, load_results, write_results
-from repro.campaign.executor import CampaignResult, ProgressCallback, run_cell
+from repro.campaign.executor import RECORD_VERSION, CampaignResult, ProgressCallback, run_cell
 from repro.campaign.spec import CampaignSpec
+from repro.faults.clock import get_clock
+from repro.faults.injector import fault_point, fault_write
+from repro.faults.retry import RetryPolicy
 from repro.obs.telemetry import get_telemetry
 
-#: Default lease time-to-live: a worker that has not finished (or refreshed)
-#: a cell within this many seconds is presumed dead and its cell re-queued.
-#: Must comfortably exceed the longest single cell.
+#: Default lease time-to-live: a worker that has not finished a cell within
+#: this many seconds — heartbeats refresh the lease while a cell runs, see
+#: :class:`_LeaseHeartbeat` — is presumed dead and its cell re-queued.
 DEFAULT_LEASE_TTL = 300.0
+
+#: Slack added to every lease-expiry comparison.  The lease mtime is stamped
+#: by the *owner's* filesystem while the age is computed from the
+#: *claimer's* clock (via :func:`repro.faults.clock.get_clock`); on shared
+#: filesystems those hosts can disagree by seconds.  A lease is only stolen
+#: once its heartbeat age exceeds ``lease_ttl + skew_tolerance``.
+DEFAULT_SKEW_TOLERANCE = 5.0
+
+#: A worker that hits this many *consecutive* infrastructure failures
+#: (journal append exhausted its retries) stops draining instead of
+#: spinning on a broken disk.
+MAX_CONSECUTIVE_WORKER_ERRORS = 3
 
 _QUEUE_SUBDIR = "queue"
 _LEASE_SUBDIR = "leases"
@@ -82,6 +111,7 @@ class CellJournal:
         self.path = os.fspath(path)
         self.appended = 0
         self._handle = None
+        self._dirty = False
 
     def append(self, record: Dict[str, Any]) -> None:
         if self._handle is None:
@@ -89,10 +119,31 @@ class CellJournal:
             if parent:
                 os.makedirs(parent, exist_ok=True)
             self._handle = open(self.path, "a", encoding="utf-8")
+        handle = self._handle
+        if self._dirty:
+            # A previous append failed part-way and could not be rolled
+            # back: terminate the torn fragment so this record starts on a
+            # fresh line (read_journal skips the fragment, not the record).
+            handle.write("\n")
+            self._dirty = False
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        self._handle.write(line + "\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        start = handle.tell()
+        try:
+            fault_write("queue.journal.append", handle, line + "\n")
+            handle.flush()
+            fault_point("queue.journal.fsync")
+            os.fsync(handle.fileno())
+        except OSError:
+            # A short/torn write must not merge with the next (possibly
+            # retried) append into one corrupt line.  Roll the file back to
+            # where this record started; if even that fails, remember to
+            # newline-terminate the wreckage before the next append.
+            try:
+                handle.flush()
+                handle.truncate(start)
+            except OSError:
+                self._dirty = True
+            raise
         self.appended += 1
 
     def close(self) -> None:
@@ -112,11 +163,13 @@ def read_journal(path: Union[str, os.PathLike]) -> Tuple[List[Dict[str, Any]], i
 
     Unparseable lines (the truncated tail a crashed worker leaves) are
     skipped, not fatal — the cell they would have recorded is simply still
-    pending and re-runs.
+    pending and re-runs.  Garbage bytes (a torn write that is not even
+    UTF-8) decode to replacement characters and fail JSON parsing the same
+    way, so *any* byte-level corruption costs at most the lines it touches.
     """
     records: List[Dict[str, Any]] = []
     skipped = 0
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, "r", encoding="utf-8", errors="replace") as handle:
         for line in handle:
             line = line.strip()
             if not line:
@@ -193,8 +246,15 @@ def enqueue_campaign(
     """
     directory = os.fspath(directory)
     queue_dir = _queue_dir(directory)
-    for subdir in (queue_dir, _lease_dir(directory), journal_dir(directory)):
-        os.makedirs(subdir, exist_ok=True)
+    try:
+        for subdir in (queue_dir, _lease_dir(directory), journal_dir(directory)):
+            os.makedirs(subdir, exist_ok=True)
+    except OSError as error:
+        # e.g. the target is an existing *file*: a clear refusal, not a
+        # NotADirectoryError traceback.
+        raise QueueError(
+            f"cannot create queue directory {directory!r}: {error}"
+        ) from error
     stale = [name for name in os.listdir(queue_dir) if name.endswith(".json")]
     if stale:
         raise QueueError(
@@ -252,9 +312,16 @@ class Lease:
 
 
 def _lease_age(lease_path: str) -> Optional[float]:
-    """Seconds since the lease's last heartbeat (mtime); None if gone."""
+    """Seconds since the lease's last heartbeat (mtime); None if gone.
+
+    *Now* comes from the injectable lease clock, not ``time.time()``
+    directly: the clock is the seam chaos schedules skew, and the single
+    place a monotonic-ish source could be swapped in.  Callers must compare
+    the age against ``lease_ttl + skew_tolerance`` — never the bare TTL —
+    because the mtime was stamped by another host's clock.
+    """
     try:
-        return max(0.0, time.time() - os.stat(lease_path).st_mtime)
+        return max(0.0, get_clock().now() - os.stat(lease_path).st_mtime)
     except OSError:
         return None
 
@@ -268,6 +335,7 @@ def _steal_lease(lease_path: str, token: str) -> bool:
     steal) is never deleted by a slow loser — its path simply no longer
     matches.
     """
+    fault_point("queue.lease.steal")
     grave = f"{lease_path}.stale-{token}"
     try:
         os.rename(lease_path, grave)
@@ -284,13 +352,15 @@ def claim_cell(
     directory: Union[str, os.PathLike],
     token: str,
     lease_ttl: float = DEFAULT_LEASE_TTL,
+    skew_tolerance: float = DEFAULT_SKEW_TOLERANCE,
 ) -> Optional[Tuple[str, Dict[str, Any]]]:
     """Claim one pending cell; returns ``(cell_name, payload)`` or ``None``.
 
-    Scans the queue in index order, skipping live leases; an expired lease
-    is stolen (see :func:`_steal_lease`) and the cell re-claimed.  ``None``
-    means nothing is claimable right now — the queue is drained or every
-    remaining cell is leased to a live worker.
+    Scans the queue in index order, skipping live leases; a lease whose
+    heartbeat age exceeds ``lease_ttl + skew_tolerance`` is stolen (see
+    :func:`_steal_lease`) and the cell re-claimed.  ``None`` means nothing
+    is claimable right now — the queue is drained or every remaining cell
+    is leased to a live worker.
     """
     directory = os.fspath(directory)
     queue_dir = _queue_dir(directory)
@@ -307,21 +377,33 @@ def claim_cell(
         lease_path = os.path.join(lease_dir, f"{cell_name}.lease")
         age = _lease_age(lease_path)
         if age is not None:
-            if age <= lease_ttl:
-                continue  # live worker owns it
+            if age <= lease_ttl + skew_tolerance:
+                continue  # live worker owns it (or our clock merely skews)
             if not _steal_lease(lease_path, token):
                 continue  # someone else won the steal; move on
+        fault_point("queue.lease.claim")
         try:
             fd = os.open(lease_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
         except OSError as error:
             if error.errno == errno.EEXIST:
                 continue  # lost the claim race
+            if error.errno in (errno.ENOENT, errno.ENOTDIR):
+                raise QueueError(
+                    f"{directory!r} is not a campaign queue directory "
+                    f"(missing its leases/ subdirectory: {error})"
+                ) from error
             raise
         lease = Lease(
             token=token, pid=os.getpid(), host=socket.gethostname(), claimed_at=time.time()
         )
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(lease.to_json() + "\n")
+            # A torn/failed stamp is harmless — the mtime is the heartbeat
+            # and the contents are diagnostic only — but it must not abort
+            # the claim we already won.
+            try:
+                fault_write("queue.lease.write", handle, lease.to_json() + "\n")
+            except OSError:
+                pass
         try:
             with open(cell_file, "r", encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -345,6 +427,7 @@ def complete_cell(directory: Union[str, os.PathLike], cell_name: str) -> None:
     cell; the merge deduplicates).
     """
     directory = os.fspath(directory)
+    fault_point("queue.dequeue")
     for path in (
         os.path.join(_queue_dir(directory), f"{cell_name}.json"),
         os.path.join(_lease_dir(directory), f"{cell_name}.lease"),
@@ -355,21 +438,157 @@ def complete_cell(directory: Union[str, os.PathLike], cell_name: str) -> None:
             pass
 
 
+def release_lease(directory: Union[str, os.PathLike], cell_name: str) -> None:
+    """Give a claimed cell back (payload kept): drop only its lease.
+
+    The clean way out when a worker cannot finish a cell — the next claimer
+    takes it immediately instead of waiting out the TTL.
+    """
+    try:
+        os.unlink(os.path.join(_lease_dir(os.fspath(directory)), f"{cell_name}.lease"))
+    except OSError:
+        pass
+
+
+class _LeaseHeartbeat:
+    """Refreshes a lease's mtime on a background thread while its cell runs.
+
+    Without heartbeats a lease's only stamp is the claim time, so the TTL
+    must exceed the *longest* cell; with them the TTL only has to cover a
+    few missed beats.  A failed beat is retried at the next interval (the
+    lease may also have been stolen meanwhile — beating a missing file is
+    a no-op failure, and the dedup merge absorbs the double-run).
+    """
+
+    def __init__(self, lease_path: str, interval: float) -> None:
+        self._lease_path = lease_path
+        self._interval = max(0.05, interval)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="lease-heartbeat", daemon=True
+        )
+
+    def start(self) -> "_LeaseHeartbeat":
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                fault_point("queue.lease.heartbeat")
+                os.utime(self._lease_path, None)
+            except OSError:
+                continue
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def _worker_error_record(payload: Dict[str, Any], kind: str, message: str) -> Dict[str, Any]:
+    """A typed error record for infrastructure failures around a cell.
+
+    Mirrors the shape :func:`~repro.campaign.executor.run_cell` gives error
+    records so merge / tables / diff treat it like any other failed cell;
+    ``error_kind`` distinguishes worker-level trouble (timeout, crash,
+    journal exhaustion) from the cell's own exception.
+    """
+    return {
+        "index": payload.get("index"),
+        "cell_id": payload.get("cell_id"),
+        "workload": payload.get("workload"),
+        "allocator": payload.get("allocator"),
+        "cost": payload.get("cost"),
+        "device": payload.get("device"),
+        "seed": payload.get("seed"),
+        "observers": payload.get("observers", []),
+        "record_version": RECORD_VERSION,
+        "status": "error",
+        "error_kind": kind,
+        "error": message,
+        "elapsed_seconds": 0.0,
+    }
+
+
+def _timeout_cell_entry(payload: Dict[str, Any], connection) -> None:
+    """Child entry for per-cell timeouts: run the cell, pipe the record."""
+    try:
+        record = run_cell(payload)
+    except BaseException:  # run_cell never raises; belt and braces
+        record = _worker_error_record(payload, "worker_error", _traceback.format_exc(limit=20))
+    try:
+        connection.send(record)
+    finally:
+        connection.close()
+
+
+def _run_cell_with_timeout(payload: Dict[str, Any], timeout: float) -> Dict[str, Any]:
+    """Run one cell in a child process, bounded by ``timeout`` seconds.
+
+    A cell that overruns is terminated and becomes a typed
+    ``worker_timeout`` error record; a child that dies outright (a crash
+    fault, a segfault) becomes ``worker_crash``.  Either way the worker
+    survives and moves on.
+    """
+    import multiprocessing
+
+    receiver, sender = multiprocessing.Pipe(duplex=False)
+    process = multiprocessing.Process(target=_timeout_cell_entry, args=(payload, sender))
+    process.start()
+    sender.close()
+    record = None
+    try:
+        # poll() also wakes on EOF when the child dies without sending.
+        if receiver.poll(timeout):
+            record = receiver.recv()
+    except (EOFError, OSError):
+        record = None
+    if record is None:
+        timed_out = process.is_alive()
+        if timed_out:
+            process.terminate()
+        process.join()
+        receiver.close()
+        if timed_out:
+            return _worker_error_record(
+                payload, "worker_timeout", f"cell exceeded the {timeout}s cell timeout"
+            )
+        return _worker_error_record(
+            payload, "worker_crash", f"cell process died (exit code {process.exitcode})"
+        )
+    process.join()
+    receiver.close()
+    return record
+
+
 def work_queue(
     directory: Union[str, os.PathLike],
     token: Optional[str] = None,
     lease_ttl: float = DEFAULT_LEASE_TTL,
     max_cells: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    skew_tolerance: float = DEFAULT_SKEW_TOLERANCE,
+    retry: Optional[RetryPolicy] = None,
+    cell_timeout: Optional[float] = None,
 ) -> int:
     """Drain cells from a queue directory until none are claimable.
 
-    The worker claims a cell (atomic lease), runs it through
+    The worker claims a cell (atomic lease), heartbeats the lease on a
+    background thread while the cell runs through
     :func:`~repro.campaign.executor.run_cell` (fault-isolated: a crashing
     cell becomes an error record, not a dead worker), journals the record
-    (fsync'd JSONL), dequeues the cell, and repeats.  ``max_cells`` bounds
-    the number of cells this worker takes (tests and load shaping); the
-    return value is the number of cells executed.
+    (fsync'd JSONL), dequeues the cell, and repeats.
+
+    Transient ``OSError``\\ s around claim / journal / dequeue are retried
+    under ``retry`` (bounded exponential backoff with jitter).  A journal
+    append that exhausts its retries releases the cell's lease — the cell
+    re-runs elsewhere — and after
+    :data:`MAX_CONSECUTIVE_WORKER_ERRORS` such failures the worker stops
+    instead of poisoning the queue.  ``cell_timeout`` runs each cell in a
+    child process and turns overruns (and child deaths) into typed
+    ``worker_timeout`` / ``worker_crash`` error records.  ``max_cells``
+    bounds the number of cells this worker takes (tests and load shaping);
+    the return value is the number of cells executed.
     """
     directory = os.fspath(directory)
     if not os.path.isdir(_queue_dir(directory)):
@@ -377,22 +596,84 @@ def work_queue(
             f"{directory!r} is not a campaign queue directory "
             "(run 'repro sweep enqueue <spec> <dir>' first)"
         )
+    try:
+        # Recreate satellite subdirectories a partial enqueue (or an
+        # overeager cleanup) may have dropped; claiming needs them.
+        os.makedirs(_lease_dir(directory), exist_ok=True)
+        os.makedirs(journal_dir(directory), exist_ok=True)
+    except OSError as error:
+        raise QueueError(
+            f"{directory!r} is not a usable campaign queue directory ({error})"
+        ) from error
     token = token or worker_token()
+    retry = retry or RetryPolicy()
+    heartbeat_interval = max(0.5, min(60.0, lease_ttl / 4.0))
     session = get_telemetry()
     executed = 0
+    consecutive_errors = 0
     with CellJournal(os.path.join(journal_dir(directory), f"{token}.jsonl")) as journal:
         with session.span("queue.work", directory=directory, worker=token):
             counter = session.counter("queue.cells_executed") if session.enabled else None
             while max_cells is None or executed < max_cells:
-                claimed = claim_cell(directory, token, lease_ttl=lease_ttl)
+                try:
+                    claimed = retry.call(
+                        claim_cell,
+                        directory,
+                        token,
+                        lease_ttl=lease_ttl,
+                        skew_tolerance=skew_tolerance,
+                    )
+                except OSError as error:
+                    # Claiming itself is broken (disk gone?): stop cleanly
+                    # with everything already journaled intact.
+                    if session.enabled:
+                        session.event(
+                            "queue.worker_error",
+                            worker=token,
+                            stage="claim",
+                            error=str(error),
+                        )
+                    break
                 if claimed is None:
                     break
                 cell_name, payload = claimed
-                with session.span("queue.cell", cell=payload.get("cell_id", cell_name)):
-                    record = run_cell(payload)
+                lease_path = os.path.join(_lease_dir(directory), f"{cell_name}.lease")
+                heartbeat = _LeaseHeartbeat(lease_path, heartbeat_interval).start()
+                try:
+                    with session.span("queue.cell", cell=payload.get("cell_id", cell_name)):
+                        if cell_timeout is not None:
+                            record = _run_cell_with_timeout(payload, cell_timeout)
+                        else:
+                            record = run_cell(payload)
+                finally:
+                    heartbeat.stop()
                 record["worker"] = token
-                journal.append(record)
-                complete_cell(directory, cell_name)
+                try:
+                    retry.call(journal.append, record)
+                except OSError as error:
+                    # The record could not be made durable: give the cell
+                    # back (it re-runs; merge dedups if our line half-made
+                    # it) and count the strike.
+                    release_lease(directory, cell_name)
+                    consecutive_errors += 1
+                    if session.enabled:
+                        session.event(
+                            "queue.worker_error",
+                            worker=token,
+                            stage="journal",
+                            cell=payload.get("cell_id", cell_name),
+                            error=str(error),
+                        )
+                    if consecutive_errors >= MAX_CONSECUTIVE_WORKER_ERRORS:
+                        break
+                    continue
+                consecutive_errors = 0
+                try:
+                    retry.call(complete_cell, directory, cell_name)
+                except OSError:
+                    # The record is durably journaled; a merge drops the
+                    # stale payload once it sees the ok record.
+                    pass
                 executed += 1
                 if counter is not None:
                     counter.value += 1
@@ -431,6 +712,7 @@ class MergeResult:
 def merge_queue(
     directory: Union[str, os.PathLike],
     lease_ttl: float = DEFAULT_LEASE_TTL,
+    skew_tolerance: float = DEFAULT_SKEW_TOLERANCE,
 ) -> MergeResult:
     """Fold worker journals (and any previous artifact) into ``results.json``.
 
@@ -493,7 +775,7 @@ def merge_queue(
             continue
         lease_path = os.path.join(lease_dir, f"{cell_name}.lease")
         age = _lease_age(lease_path)
-        if age is not None and age > lease_ttl:
+        if age is not None and age > lease_ttl + skew_tolerance:
             if _steal_lease(lease_path, "merge"):
                 reclaimed += 1
         pending.append(cell.cell_id if cell is not None else cell_name)
@@ -544,9 +826,11 @@ def merge_queue(
     )
 
 
-def _worker_entry(directory: str, token: str, lease_ttl: float) -> None:
+def _worker_entry(
+    directory: str, token: str, lease_ttl: float, cell_timeout: Optional[float] = None
+) -> None:
     """Entry point for locally spawned worker processes."""
-    work_queue(directory, token=token, lease_ttl=lease_ttl)
+    work_queue(directory, token=token, lease_ttl=lease_ttl, cell_timeout=cell_timeout)
 
 
 def run_queue_sweep(
@@ -557,6 +841,7 @@ def run_queue_sweep(
     lease_ttl: float = DEFAULT_LEASE_TTL,
     telemetry: bool = False,
     profile_dir: Optional[str] = None,
+    cell_timeout: Optional[float] = None,
 ) -> MergeResult:
     """Enqueue ``spec``, drain it with ``workers`` local processes, merge.
 
@@ -579,7 +864,7 @@ def run_queue_sweep(
         processes = [
             multiprocessing.Process(
                 target=_worker_entry,
-                args=(directory, f"{worker_token()}-w{rank}", lease_ttl),
+                args=(directory, f"{worker_token()}-w{rank}", lease_ttl, cell_timeout),
             )
             for rank in range(workers)
         ]

@@ -177,6 +177,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="(work) stop this worker after N cells instead of draining the queue",
     )
     sweep_parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "(work/--workers) run each cell in a watchdog subprocess and record "
+            "a typed worker_timeout error instead of hanging if it overruns"
+        ),
+    )
+    sweep_parser.add_argument(
         "--tolerance",
         action="append",
         default=[],
@@ -261,6 +271,79 @@ def _build_parser() -> argparse.ArgumentParser:
         "--check",
         action="store_true",
         help="validate every event against the schema and exit nonzero on problems",
+    )
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="fault-injection chaos testing of the distributed sweep machinery",
+    )
+    chaos_sub = chaos_parser.add_subparsers(dest="chaos_command")
+    chaos_sub.add_parser("sites", help="list every named fault site")
+    chaos_sweep_parser = chaos_sub.add_parser(
+        "sweep",
+        help=(
+            "run a campaign spec repeatedly under fault schedules and check "
+            "every run converges to the fault-free result"
+        ),
+    )
+    chaos_sweep_parser.add_argument("spec", help="path to a campaign spec JSON file")
+    chaos_sweep_parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help=(
+            "run one explicit fault plan (JSON: {seed, rules: [{site, action, "
+            "...}]}) instead of the generated schedules"
+        ),
+    )
+    chaos_sweep_parser.add_argument(
+        "--seeds",
+        type=int,
+        default=0,
+        metavar="N",
+        help="append N seeded multi-fault schedules (seeds 0..N-1)",
+    )
+    chaos_sweep_parser.add_argument(
+        "--single-faults",
+        action="store_true",
+        help="prepend the systematic battery: one raise and one crash per site",
+    )
+    chaos_sweep_parser.add_argument(
+        "--sites",
+        default=None,
+        metavar="GLOB",
+        help="restrict generated schedules to sites matching this glob",
+    )
+    chaos_sweep_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes per faulted round (default 1)",
+    )
+    chaos_sweep_parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="root directory for schedule artifacts (default: chaos-<spec name>)",
+    )
+    chaos_sweep_parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="lease TTL for the faulted rounds (default 30)",
+    )
+    chaos_sweep_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="DIR",
+        help="write the fault-free baseline artifact here (default <out>/baseline)",
+    )
+    chaos_sweep_parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-schedule progress lines on stderr",
     )
     return parser
 
@@ -367,7 +450,7 @@ def _cmd_sweep_enqueue(args: argparse.Namespace) -> int:
             telemetry=args.telemetry is not None,
             profile_dir=os.path.join(directory, "profiles") if args.profile else None,
         )
-    except (QueueError, ValueError) as error:
+    except (QueueError, OSError, ValueError) as error:
         print(f"repro sweep enqueue: {error}", file=sys.stderr)
         return 2
     skipped = len(completed) if completed else 0
@@ -406,6 +489,7 @@ def _cmd_sweep_work(args: argparse.Namespace) -> int:
             lease_ttl=args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL,
             max_cells=args.max_cells,
             progress=progress,
+            cell_timeout=args.cell_timeout,
         )
     except (QueueError, OSError) as error:
         print(f"repro sweep work: {error}", file=sys.stderr)
@@ -699,6 +783,7 @@ def _run_queue_mode(args: argparse.Namespace, spec, out_dir, completed, profile_
             lease_ttl=args.lease_ttl if args.lease_ttl is not None else DEFAULT_LEASE_TTL,
             telemetry=args.telemetry is not None,
             profile_dir=profile_dir,
+            cell_timeout=args.cell_timeout,
         )
     except (QueueError, SpecError) as error:
         print(f"repro sweep: {error}", file=sys.stderr)
@@ -912,6 +997,103 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_chaos_sites(args: argparse.Namespace) -> int:
+    from repro.faults import SITES
+
+    width = max(len(site) for site in SITES)
+    for site in sorted(SITES):
+        print(f"{site.ljust(width)}  {SITES[site]}")
+    return 0
+
+
+def _cmd_chaos_sweep(args: argparse.Namespace) -> int:
+    import fnmatch
+    import os
+
+    from repro.campaign import CampaignSpec
+    from repro.faults import SITES, FaultPlan, FaultPlanError
+    from repro.faults import chaos
+
+    try:
+        spec = CampaignSpec.from_json(args.spec)
+    except (OSError, ValueError) as error:
+        print(f"repro chaos sweep: cannot load spec {args.spec!r}: {error}", file=sys.stderr)
+        return 2
+    sites = None
+    if args.sites is not None:
+        sites = [site for site in SITES if fnmatch.fnmatchcase(site, args.sites)]
+        if not sites:
+            print(
+                f"repro chaos sweep: no fault site matches {args.sites!r} "
+                "(see: repro chaos sites)",
+                file=sys.stderr,
+            )
+            return 2
+    plans = []
+    if args.faults is not None:
+        try:
+            plans.append(FaultPlan.from_json(args.faults))
+        except FaultPlanError as error:
+            print(f"repro chaos sweep: {error}", file=sys.stderr)
+            return 2
+    if args.single_faults:
+        plans.extend(chaos.single_fault_plans(sites=sites))
+    plans.extend(chaos.seeded_plan(seed, sites=sites) for seed in range(args.seeds))
+    if not plans:
+        print(
+            "repro chaos sweep: nothing to run — give --faults PLAN.json, "
+            "--single-faults, and/or --seeds N",
+            file=sys.stderr,
+        )
+        return 2
+    out_root = args.out if args.out is not None else f"chaos-{spec.name}"
+
+    def progress(schedule):
+        if not args.quiet:
+            status = "ok   " if schedule.passed else "FAIL "
+            detail = f" ({schedule.detail})" if schedule.detail else ""
+            print(
+                f"[chaos] {status} {schedule.label} "
+                f"rounds={schedule.rounds} exits={schedule.worker_exits}{detail}",
+                file=sys.stderr,
+            )
+
+    report = chaos.run_chaos(
+        spec,
+        plans,
+        out_root,
+        workers=args.workers,
+        lease_ttl=args.lease_ttl if args.lease_ttl is not None else chaos.HARNESS_LEASE_TTL,
+        baseline_dir=args.baseline,
+        progress=progress,
+    )
+    passed = len(report.schedules) - len(report.failed)
+    print(f"chaos: {passed}/{len(report.schedules)} schedule(s) converged to the baseline")
+    if report.baseline_dir:
+        print(f"baseline artifact: {os.path.join(report.baseline_dir, 'results.json')}")
+    for schedule in report.failed:
+        print(
+            f"repro chaos sweep: FAILED {schedule.label}: "
+            f"{schedule.detail or 'did not match the baseline'} "
+            f"(artifacts under {schedule.directory})",
+            file=sys.stderr,
+        )
+    return 1 if report.failed else 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.chaos_command == "sites":
+        return _cmd_chaos_sites(args)
+    if args.chaos_command == "sweep":
+        return _cmd_chaos_sweep(args)
+    print(
+        "repro chaos: choose a subcommand (try: repro chaos sites, or "
+        "repro chaos sweep <spec.json> --single-faults --seeds 5)",
+        file=sys.stderr,
+    )
+    return 2
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     handlers = {
         "analyze": _cmd_trace_analyze,
@@ -946,6 +1128,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "obs":
         return _cmd_obs(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     parser.print_help()
     return 1
 

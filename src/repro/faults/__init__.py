@@ -1,0 +1,47 @@
+"""Deterministic fault injection, retry policies, and the chaos harness.
+
+Hot-path-safe pieces (everything the queue / artifact / trace layers
+import) live in :mod:`~repro.faults.injector`, :mod:`~repro.faults.clock`,
+and :mod:`~repro.faults.retry`, and are re-exported here.  The chaos
+harness (:mod:`~repro.faults.chaos`) imports the campaign layer, so it is
+deliberately *not* pulled in by this package import — ``from repro.faults
+import chaos`` explicitly where needed.
+"""
+
+from repro.faults.clock import LeaseClock, get_clock, reset_clock
+from repro.faults.injector import (
+    ACTIONS,
+    CRASH_EXIT_CODE,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    activate_plan,
+    deactivate_faults,
+    fault_point,
+    fault_write,
+    get_injector,
+    inject,
+)
+from repro.faults.retry import RetryPolicy
+from repro.faults.sites import SITES
+
+__all__ = [
+    "ACTIONS",
+    "CRASH_EXIT_CODE",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "LeaseClock",
+    "RetryPolicy",
+    "SITES",
+    "activate_plan",
+    "deactivate_faults",
+    "fault_point",
+    "fault_write",
+    "get_clock",
+    "get_injector",
+    "inject",
+    "reset_clock",
+]

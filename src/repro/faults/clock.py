@@ -1,0 +1,53 @@
+"""The injectable wall clock behind lease-TTL checks.
+
+Lease expiry (see :mod:`repro.campaign.queue`) compares *now* against a
+lease file's mtime.  Both sides of that comparison come from host clocks —
+the claimer's ``time.time()`` and the filesystem's stamp — so cross-host
+clock skew can make a live lease look expired.  Routing every TTL check
+through :func:`get_clock` gives the queue one seam to (a) add a skew
+tolerance against, (b) let the fault injector :meth:`~LeaseClock.skew` the
+clock deterministically in chaos schedules, and (c) let tests pin time
+without ``os.utime`` gymnastics.
+
+Module-level imports must stay stdlib-only: this module is imported by the
+queue and by :mod:`repro.faults.injector`, both of which sit under hot
+paths.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class LeaseClock:
+    """``time.time()`` plus an adjustable offset (seconds).
+
+    The offset models a skewed host clock: fault schedules shift it with
+    :meth:`skew` and the queue's expiry checks read it back through
+    :meth:`now`.  A real deployment never touches the offset.
+    """
+
+    __slots__ = ("offset",)
+
+    def __init__(self) -> None:
+        self.offset = 0.0
+
+    def now(self) -> float:
+        return time.time() + self.offset
+
+    def skew(self, seconds: float) -> None:
+        """Shift this clock by ``seconds`` (positive = clock runs ahead)."""
+        self.offset += float(seconds)
+
+
+_CLOCK = LeaseClock()
+
+
+def get_clock() -> LeaseClock:
+    """The process-current lease clock (offset 0 unless skewed)."""
+    return _CLOCK
+
+
+def reset_clock() -> None:
+    """Zero the clock offset (tests, and fault-plan deactivation)."""
+    _CLOCK.offset = 0.0

@@ -1,0 +1,353 @@
+"""Deterministic fault injection at named sites.
+
+The durability layers (queue, artifacts, trace writers, checkpoints) call
+:func:`fault_point` / :func:`fault_write` at every cut where a crash or I/O
+error must be survivable.  With no plan armed both are a single global load
+plus a ``None`` test — free enough to leave in production paths (the same
+≤2% bar telemetry meets, bench-guarded).  With a :class:`FaultPlan` armed
+(via :func:`activate_plan`, the :func:`inject` context manager, or the
+``REPRO_FAULTS`` environment variable) each hit is matched against the
+plan's rules and may raise an ``OSError``, tear a write short, crash the
+process with ``os._exit``, delay, or skew the lease clock — all
+deterministically, so a failing chaos schedule replays exactly.
+
+Every injected fault is recorded on the injector (``fired``) and, when
+telemetry is enabled, emitted as a ``fault.injected`` event plus a
+``faults.injected`` counter, so chaos runs are debuggable from the log
+alone.
+
+Module-level imports must stay stdlib-plus-:mod:`repro.obs.telemetry`: this
+module is imported by the storage and trace-codec hot paths.
+"""
+
+from __future__ import annotations
+
+import errno as _errno
+import fnmatch
+import json
+import os
+import random
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterator, List, Optional, Union
+
+from repro.faults.clock import get_clock, reset_clock
+from repro.obs.telemetry import get_telemetry
+
+#: Everything a rule may do when it fires.
+ACTIONS = ("raise", "torn", "crash", "delay", "skew")
+
+#: Exit status a ``crash`` action dies with (distinguishable from Python
+#: tracebacks and signal deaths in worker exit codes).
+CRASH_EXIT_CODE = 86
+
+
+class FaultPlanError(ValueError):
+    """A fault plan is malformed (bad action, unknown errno, bad JSON...)."""
+
+
+@dataclass
+class FaultRule:
+    """One armed site-pattern -> action mapping.
+
+    ``site`` is an ``fnmatch`` glob against site names.  The rule skips its
+    first ``after`` matching hits, then fires on the next ``times`` of them
+    (``None`` = every one); ``probability`` additionally gates each firing
+    through the plan's seeded RNG.  ``error`` names the errno for ``raise``
+    and ``torn``; ``torn_bytes`` caps how much of a torn write reaches the
+    file (default: half the payload).
+    """
+
+    site: str
+    action: str = "raise"
+    error: str = "EIO"
+    after: int = 0
+    times: Optional[int] = 1
+    probability: Optional[float] = None
+    delay_seconds: float = 0.01
+    skew_seconds: float = 0.0
+    torn_bytes: Optional[int] = None
+    exit_code: int = CRASH_EXIT_CODE
+
+    def __post_init__(self) -> None:
+        if not self.site or not isinstance(self.site, str):
+            raise FaultPlanError(f"rule site must be a non-empty string, got {self.site!r}")
+        if self.action not in ACTIONS:
+            raise FaultPlanError(
+                f"unknown fault action {self.action!r} for site {self.site!r}; "
+                f"known: {', '.join(ACTIONS)}"
+            )
+        if not hasattr(_errno, self.error):
+            raise FaultPlanError(
+                f"unknown errno name {self.error!r} for site {self.site!r} "
+                "(use symbolic names like EIO, ENOSPC)"
+            )
+        if self.after < 0:
+            raise FaultPlanError(f"rule 'after' must be >= 0, got {self.after}")
+        if self.times is not None and self.times < 1:
+            raise FaultPlanError(f"rule 'times' must be >= 1 or null, got {self.times}")
+        if self.probability is not None and not (0.0 < self.probability <= 1.0):
+            raise FaultPlanError(
+                f"rule 'probability' must be in (0, 1], got {self.probability}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"site": self.site, "action": self.action}
+        defaults = FaultRule(site=self.site)
+        for key in (
+            "error",
+            "after",
+            "times",
+            "probability",
+            "delay_seconds",
+            "skew_seconds",
+            "torn_bytes",
+            "exit_code",
+        ):
+            value = getattr(self, key)
+            if value != getattr(defaults, key):
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "FaultRule":
+        if not isinstance(raw, dict):
+            raise FaultPlanError(f"fault rules are JSON objects, got {type(raw).__name__}")
+        unknown = set(raw) - {
+            "site",
+            "action",
+            "error",
+            "after",
+            "times",
+            "probability",
+            "delay_seconds",
+            "skew_seconds",
+            "torn_bytes",
+            "exit_code",
+        }
+        if unknown:
+            raise FaultPlanError(f"unknown fault rule field(s): {', '.join(sorted(unknown))}")
+        if "site" not in raw:
+            raise FaultPlanError("fault rules need a 'site' glob")
+        return cls(**raw)
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, ordered list of :class:`FaultRule`\\ s.
+
+    The first matching armed rule wins per hit.  ``seed`` drives the one
+    RNG used for ``probability`` gates, so the same plan replays the same
+    schedule.
+    """
+
+    rules: List[FaultRule] = field(default_factory=list)
+    seed: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "rules": [rule.to_dict() for rule in self.rules]}
+
+    def to_json(self, path: Union[str, os.PathLike]) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(raw, dict):
+            raise FaultPlanError(f"a fault plan is a JSON object, got {type(raw).__name__}")
+        unknown = set(raw) - {"seed", "rules"}
+        if unknown:
+            raise FaultPlanError(f"unknown fault plan field(s): {', '.join(sorted(unknown))}")
+        rules = raw.get("rules", [])
+        if not isinstance(rules, list):
+            raise FaultPlanError("'rules' must be a list of rule objects")
+        return cls(
+            rules=[FaultRule.from_dict(rule) for rule in rules],
+            seed=int(raw.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, path: Union[str, os.PathLike]) -> "FaultPlan":
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except OSError as error:
+            raise FaultPlanError(f"cannot read fault plan {os.fspath(path)!r}: {error}") from error
+        except json.JSONDecodeError as error:
+            raise FaultPlanError(
+                f"fault plan {os.fspath(path)!r} is not valid JSON: {error}"
+            ) from error
+        return cls.from_dict(raw)
+
+
+class FaultInjector:
+    """Executes one :class:`FaultPlan`; tracks hits and what fired."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.hits: Dict[str, int] = {}
+        self.fired: List[Dict[str, Any]] = []
+        self._rule_hits = [0] * len(plan.rules)
+        self._rule_fired = [0] * len(plan.rules)
+
+    # ------------------------------------------------------------- selection
+    def _select(self, site: str) -> Optional[FaultRule]:
+        self.hits[site] = self.hits.get(site, 0) + 1
+        for index, rule in enumerate(self.plan.rules):
+            if not fnmatch.fnmatchcase(site, rule.site):
+                continue
+            self._rule_hits[index] += 1
+            if self._rule_hits[index] <= rule.after:
+                continue
+            if rule.times is not None and self._rule_fired[index] >= rule.times:
+                continue
+            if rule.probability is not None and self.rng.random() >= rule.probability:
+                continue
+            self._rule_fired[index] += 1
+            return rule
+        return None
+
+    def _note(self, site: str, rule: FaultRule) -> None:
+        self.fired.append({"site": site, "action": rule.action, "error": rule.error})
+        session = get_telemetry()
+        if session.enabled:
+            session.event(
+                "fault.injected", site=site, action=rule.action, pid=os.getpid()
+            )
+            session.add("faults.injected")
+
+    # --------------------------------------------------------------- actions
+    def _oserror(self, site: str, rule: FaultRule) -> OSError:
+        code = getattr(_errno, rule.error)
+        return OSError(code, f"injected {rule.error} at fault site {site!r}")
+
+    def _crash(self, rule: FaultRule) -> None:
+        # Flush telemetry so the fault.injected event survives the _exit
+        # (which skips every Python-level buffer and atexit hook).
+        try:
+            session = get_telemetry()
+            if session.enabled:
+                session.close()
+        except Exception:
+            pass
+        os._exit(rule.exit_code)
+
+    def hit(self, site: str) -> None:
+        """Apply the plan at a non-write site (may raise / crash / ...)."""
+        rule = self._select(site)
+        if rule is None:
+            return
+        self._note(site, rule)
+        if rule.action in ("raise", "torn"):
+            # A torn write is meaningless without a payload; at a plain
+            # fault point it degrades to the raise it would have ended in.
+            raise self._oserror(site, rule)
+        if rule.action == "crash":
+            self._crash(rule)
+        elif rule.action == "delay":
+            time.sleep(rule.delay_seconds)
+        elif rule.action == "skew":
+            get_clock().skew(rule.skew_seconds)
+
+    def hit_write(self, site: str, handle: IO[Any], data: Any) -> None:
+        """Apply the plan at a write site, then (maybe partially) write.
+
+        ``raise`` fails before any byte lands; ``torn`` writes a prefix and
+        then raises; ``crash`` writes the same torn prefix, flushes it so
+        the corruption really reaches the file, and dies — the worst-case
+        power-cut a reader must detect.
+        """
+        rule = self._select(site)
+        if rule is None:
+            handle.write(data)
+            return
+        self._note(site, rule)
+        if rule.action == "raise":
+            raise self._oserror(site, rule)
+        if rule.action in ("torn", "crash"):
+            cut = rule.torn_bytes if rule.torn_bytes is not None else len(data) // 2
+            handle.write(data[: max(0, cut)])
+            if rule.action == "crash":
+                try:
+                    handle.flush()
+                except Exception:
+                    pass
+                self._crash(rule)
+            raise self._oserror(site, rule)
+        if rule.action == "delay":
+            time.sleep(rule.delay_seconds)
+        elif rule.action == "skew":
+            get_clock().skew(rule.skew_seconds)
+        handle.write(data)
+
+
+# ------------------------------------------------------------ current plan
+_INJECTOR: Optional[FaultInjector] = None
+
+
+def fault_point(site: str) -> None:
+    """Hook one named site; a no-op unless a fault plan is armed."""
+    injector = _INJECTOR
+    if injector is not None:
+        injector.hit(site)
+
+
+def fault_write(site: str, handle: IO[Any], data: Any) -> None:
+    """``handle.write(data)`` guarded by a write-capable fault site."""
+    injector = _INJECTOR
+    if injector is None:
+        handle.write(data)
+    else:
+        injector.hit_write(site, handle, data)
+
+
+def get_injector() -> Optional[FaultInjector]:
+    """The armed injector, or ``None`` when injection is disabled."""
+    return _INJECTOR
+
+
+def activate_plan(plan: FaultPlan) -> FaultInjector:
+    """Arm ``plan`` process-wide; returns the live injector."""
+    global _INJECTOR
+    _INJECTOR = FaultInjector(plan)
+    return _INJECTOR
+
+
+def deactivate_faults() -> None:
+    """Disarm injection and undo any clock skew the plan applied."""
+    global _INJECTOR
+    _INJECTOR = None
+    reset_clock()
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultInjector]:
+    """Arm ``plan`` for the duration of a ``with`` block (tests)."""
+    injector = activate_plan(plan)
+    try:
+        yield injector
+    finally:
+        deactivate_faults()
+
+
+def _activate_from_env() -> None:
+    """Honor ``REPRO_FAULTS=<plan.json>`` at import.
+
+    This is how fault plans reach spawned worker processes (the chaos
+    harness and CI smoke set it around ``repro sweep work`` children).
+    Activation failures warn instead of breaking every ``repro`` import.
+    """
+    value = os.environ.get("REPRO_FAULTS", "")
+    if not value or value == "0":
+        return
+    try:
+        activate_plan(FaultPlan.from_json(value))
+    except FaultPlanError as error:
+        print(f"repro: cannot activate REPRO_FAULTS: {error}", file=sys.stderr)
+
+
+_activate_from_env()

@@ -1,0 +1,74 @@
+"""Bounded exponential backoff with deterministic jitter.
+
+The queue worker survives transient ``OSError``\\ s (real or injected) by
+routing claim / journal / dequeue operations through
+:meth:`RetryPolicy.call`: up to ``max_attempts`` tries, sleeping an
+exponentially growing, jittered, capped delay between them.  Jitter comes
+from a seeded RNG so a chaos schedule's retry timing replays exactly.
+Retries and total backoff time are counted into telemetry
+(``faults.retries`` / ``faults.backoff_seconds``) so ``repro obs report``
+can show how hard a worker had to fight.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional, Tuple, Type
+
+from repro.obs.telemetry import get_telemetry
+
+
+@dataclass
+class RetryPolicy:
+    """How many times to retry and how long to wait in between."""
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+
+    def delays(self) -> Iterator[float]:
+        """The sleep before each retry (``max_attempts - 1`` values)."""
+        rng = random.Random(self.seed)
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            yield min(self.max_delay, delay * (1.0 + self.jitter * rng.random()))
+            delay *= self.multiplier
+
+    def call(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        retry_on: Tuple[Type[BaseException], ...] = (OSError,),
+        sleep: Callable[[float], None] = time.sleep,
+        **kwargs: Any,
+    ) -> Any:
+        """Run ``fn(*args, **kwargs)``, retrying on ``retry_on``.
+
+        Exceptions outside ``retry_on`` propagate immediately (a
+        :class:`~repro.campaign.queue.QueueError` is a misuse, not a
+        transient).  After the last attempt the final exception is
+        re-raised unchanged, so callers' existing ``except OSError``
+        handling sees the real error.
+        """
+        session = get_telemetry()
+        for delay in self.delays():
+            try:
+                return fn(*args, **kwargs)
+            except retry_on:
+                if session.enabled:
+                    session.add("faults.retries")
+                    session.add("faults.backoff_seconds", delay)
+                sleep(delay)
+        # Final attempt: exhaustion lets the real exception propagate.
+        return fn(*args, **kwargs)

@@ -200,16 +200,53 @@ def obs_report(
             )
 
     # Counter events carry deltas; summing per name gives true totals.
+    sums: Dict[str, float] = {}
+    for event in counters:
+        sums[str(event.get("name", "?"))] = sums.get(str(event.get("name", "?")), 0) + event.get("value", 0)
     if counters:
-        sums: Dict[str, float] = {}
-        for event in counters:
-            sums[str(event.get("name", "?"))] = sums.get(str(event.get("name", "?")), 0) + event.get("value", 0)
         rows = [
             [name, format_metric(name, value), format_count(value)]
             for name, value in sorted(sums.items(), key=lambda item: -abs(item[1]))
         ]
         parts.append("")
         parts.append(ascii_table(["counter", "total", "raw"], rows, title="counter totals"))
+
+    # Fault-injection section: what the chaos plan fired, which workers it
+    # hit, and how much retrying/backoff the faults caused.
+    plain_events = [e for e in events if e.get("ev") == "event"]
+    injected = [e for e in plain_events if e.get("name") == "fault.injected"]
+    worker_errors = [e for e in plain_events if e.get("name") == "queue.worker_error"]
+    retries = sums.get("faults.retries", 0)
+    backoff = sums.get("faults.backoff_seconds", 0.0)
+    if injected or worker_errors or retries:
+        parts.append("")
+        parts.append(
+            f"fault injection: {len(injected)} fault(s) fired, "
+            f"{format_count(retries)} retr{'y' if retries == 1 else 'ies'}, "
+            f"{format_duration(float(backoff))} total backoff"
+        )
+        by_fault: Dict[Tuple[str, str], Dict[str, Any]] = {}
+        for event in injected:
+            attrs = event.get("attrs") or {}
+            key = (str(attrs.get("site", "?")), str(attrs.get("action", "?")))
+            entry = by_fault.setdefault(key, {"count": 0, "pids": set()})
+            entry["count"] += 1
+            if attrs.get("pid") is not None:
+                entry["pids"].add(attrs["pid"])
+        for (site, action), entry in sorted(by_fault.items()):
+            pids = ", ".join(str(pid) for pid in sorted(entry["pids"]))
+            suffix = f" (pid {pids})" if pids else ""
+            parts.append(f"  {site} {action} x{entry['count']}{suffix}")
+        by_stage: Dict[Tuple[str, str], int] = {}
+        for event in worker_errors:
+            attrs = event.get("attrs") or {}
+            key = (str(attrs.get("stage", "?")), str(attrs.get("worker", "?")))
+            by_stage[key] = by_stage.get(key, 0) + 1
+        for (stage, worker), count in sorted(by_stage.items()):
+            parts.append(
+                f"  worker {worker}: gave up at {stage} x{count} "
+                "(retries exhausted; cell released for another worker)"
+            )
 
     if gauges:
         last: Dict[str, Any] = {}

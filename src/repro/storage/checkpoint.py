@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from repro.faults.injector import fault_point
 from repro.storage.extent import Extent, coalesce
 
 
@@ -73,6 +74,7 @@ class CheckpointManager:
 
         Returns the total number of checkpoints taken so far.
         """
+        fault_point("checkpoint.persist")
         self._frozen.clear()
         self.checkpoints_taken += 1
         return self.checkpoints_taken

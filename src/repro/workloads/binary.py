@@ -86,6 +86,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
+from repro.faults.injector import fault_point, fault_write
 from repro.obs.telemetry import get_telemetry
 from repro.workloads.base import DELETE, INSERT, Request
 
@@ -1073,7 +1074,7 @@ class BinaryTraceWriter:
         if self._compressed:
             body = zlib.compress(body, self._compresslevel)
         offset = self._handle.tell()
-        self._handle.write(
+        block = (
             bytes([_TAG_BLOCK])
             + encode_varint(self._block_count)
             + encode_varint(self._pending_entries)
@@ -1082,6 +1083,9 @@ class BinaryTraceWriter:
             + encode_varint(len(body))
             + body
         )
+        # Fault site: a crash mid-block must leave a truncation the reader
+        # detects (the missing END trailer / footer), never a silent gap.
+        fault_write("trace.write.block", self._handle, block)
         self._blocks.append((offset, self._block_count))
 
     # --------------------------------------------------------------- records
@@ -1163,7 +1167,7 @@ class BinaryTraceWriter:
         if self._compressor is not None:
             data = self._compressor.compress(data)
         if data:
-            self._handle.write(data)
+            fault_write("trace.write.body", self._handle, data)
 
     def close(self) -> None:
         """Write the END trailer (and v3 footer index) and close the file
@@ -1184,8 +1188,12 @@ class BinaryTraceWriter:
                 previous = offset
             footer += end_offset.to_bytes(8, "little")
             footer += _FOOTER_MAGIC
-            self._handle.write(footer)
+            # Fault site: a crash before the footer lands must be detected
+            # as truncation by the reader (missing END/magic), never read
+            # back as a shorter-but-valid trace.
+            fault_write("trace.write.trailer", self._handle, bytes(footer))
         else:
+            fault_point("trace.write.trailer")
             self._buffer.append(_TAG_END)
             self._buffer += encode_varint(self.count)
             self._flush_buffer()
