@@ -1,0 +1,108 @@
+"""Saturation benchmark for the live allocation service (``repro serve``).
+
+The acceptance guard of ISSUE 10: 8 concurrent clients against one server
+process must sustain at least **50%** of single-process batch-replay
+throughput for the same total workload — while every session is durably
+recorded (each ack only lands after the applied prefix is written to the
+tenant's v3 trace and synced).  Both sides run on the same machine in the
+same invocation, so the ratio is hardware-independent; the absolute
+figures are recorded into ``BENCH_serve.json`` for the artifact.
+
+The default load is 8 x 10k requests so CI stays fast; set
+``REPRO_BENCH_FULL=1`` for the 8 x 50k acceptance run::
+
+    REPRO_BENCH_FULL=1 PYTHONPATH=src python -m pytest benchmarks/bench_serve.py -q
+"""
+
+import os
+import time
+
+import pytest
+
+from benchmarks.bench_artifact import record_metric
+from repro.allocators import FirstFitAllocator
+from repro.engine import SimulationEngine
+from repro.serve import ServeConfig, run_load, start_background
+from repro.serve.client import load_pattern_trace
+from repro.workloads import load_trace, trace_info
+
+CLIENTS = 8
+REQUESTS = 50_000 if os.environ.get("REPRO_BENCH_FULL", "") == "1" else 10_000
+
+#: The acceptance bar: serve throughput >= 50% of batch replay.
+MIN_SERVE_RATIO = 0.50
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    """The exact per-client traces the loader will send (same seeds)."""
+    return [load_pattern_trace("churn", REQUESTS, seed) for seed in range(CLIENTS)]
+
+
+def _batch_replay_seconds(workloads):
+    """Single-process baseline: plain engine runs, one per workload."""
+    best = float("inf")
+    for _ in range(2):
+        started = time.perf_counter()
+        total = 0
+        for trace in workloads:
+            total += SimulationEngine(FirstFitAllocator()).run(trace).requests
+        best = min(best, time.perf_counter() - started)
+        assert total == CLIENTS * REQUESTS
+    return best
+
+
+def test_serve_sustains_half_of_batch_replay_throughput(tmp_path, workloads):
+    baseline_seconds = _batch_replay_seconds(workloads)
+    baseline_rps = CLIENTS * REQUESTS / baseline_seconds
+
+    handle = start_background(
+        ServeConfig(allocator="first_fit", trace_dir=str(tmp_path), label="bench")
+    )
+    try:
+        report = run_load(
+            handle.host,
+            handle.port,
+            clients=CLIENTS,
+            requests=REQUESTS,
+            pattern="churn",
+            seed=0,
+            batch=1000,
+            window=8,
+        )
+    finally:
+        results = handle.stop()
+    assert report.errors == 0
+    assert report.applied == report.sent == CLIENTS * REQUESTS
+
+    serve_rps = report.requests_per_second
+    ratio = serve_rps / baseline_rps
+    print(
+        f"\n{CLIENTS} clients x {REQUESTS} requests: "
+        f"batch replay={baseline_rps:,.0f} req/s, "
+        f"serve={serve_rps:,.0f} req/s ({ratio:.2f}x)"
+    )
+    record_metric("serve", "clients", CLIENTS, "count")
+    record_metric("serve", "requests_per_client", REQUESTS, "count")
+    record_metric("serve", "batch_replay_requests_per_sec", round(baseline_rps), "req/s")
+    record_metric("serve", "serve_requests_per_sec", round(serve_rps), "req/s")
+    record_metric("serve", "serve_over_batch_ratio", round(ratio, 3), "ratio")
+    assert ratio >= MIN_SERVE_RATIO, (
+        f"{CLIENTS} concurrent clients sustain only {ratio:.1%} of batch-replay "
+        f"throughput ({serve_rps:,.0f} vs {baseline_rps:,.0f} req/s); the serve "
+        f"path regressed past the {MIN_SERVE_RATIO:.0%} budget"
+    )
+
+    # The throughput only counts if durability held: every session left a
+    # complete v3 trace that replays to the exact served state.
+    assert len(results) == CLIENTS
+    for index, (workload, result) in enumerate(
+        zip(workloads, sorted(results, key=lambda r: int(r["tenant"].split("-")[-1])))
+    ):
+        path = tmp_path / f"bench-load-{index}.v3"
+        assert trace_info(path).requests == REQUESTS
+        offline = FirstFitAllocator()
+        offline.run(workload)
+        assert result["stats"]["footprint"] == offline.footprint
+        assert result["stats"]["volume"] == offline.volume
+    record_metric("serve", "sessions_recorded", len(results), "count")

@@ -195,6 +195,48 @@ def test_sharded_analyze_identical_and_faster(trace_files):
         )
 
 
+@pytest.mark.parametrize("version", [2, 3])
+def test_background_compression_no_slower_than_inline(trace_files, tmp_path, version):
+    """The ISSUE 10 satellite guard: ``compress="background"`` must not be
+    slower than inline compression (byte-identical output is pinned by
+    tests/test_trace_background.py; this guards the *point* of the mode).
+
+    Best-of-3 wall times on the same trace in the same process; a 10%
+    grace absorbs scheduler noise — the worker thread overlaps zlib with
+    record encoding, so the ratio sits at or below 1.0 in practice.
+    """
+    trace = trace_files["trace"]
+
+    def save_seconds(compress, tag):
+        best = float("inf")
+        for _ in range(3):
+            path = tmp_path / f"bg-{version}-{tag}.bin"
+            started = time.perf_counter()
+            save_trace(trace, path, version=version, compress=compress)
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    inline = save_seconds(True, "inline")
+    background = save_seconds("background", "background")
+    ratio = background / inline
+    print(
+        f"\nv{version} compressed save of {REQUESTS} requests: "
+        f"inline={inline:.3f}s, background={background:.3f}s ({ratio:.2f}x)"
+    )
+    record_metric("trace_io", f"v{version}z_inline_save_seconds", round(inline, 3), "s")
+    record_metric(
+        "trace_io", f"v{version}z_background_save_seconds", round(background, 3), "s"
+    )
+    record_metric(
+        "trace_io", f"v{version}z_background_over_inline", round(ratio, 3), "ratio"
+    )
+    assert ratio <= 1.10, (
+        f"background compression is {ratio:.2f}x inline for v{version} "
+        "(guard: <= 1.10x); the worker thread is adding overhead instead of "
+        "hiding the zlib work"
+    )
+
+
 def test_streaming_analytics_matches_materialised_within_memory_budget(trace_files):
     """The `repro trace analyze` guard: streaming analytics over a
     TraceFileSource must render byte-identical tables to the materialised

@@ -345,6 +345,131 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the per-schedule progress lines on stderr",
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "serve live allocation sessions over a socket (one replayable "
+            "v3 trace per tenant; STATS/SNAPSHOT/DRAIN control verbs)"
+        ),
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="N",
+        help="TCP port (default 0 = pick a free port; printed on startup)",
+    )
+    serve_parser.add_argument(
+        "--allocator",
+        default="first_fit",
+        metavar="KIND",
+        help=(
+            "allocator spec per arena: a kind name (first_fit, buddy, ...) or "
+            'a JSON object like \'{"kind": "buddy", "audit": false}\''
+        ),
+    )
+    arena = serve_parser.add_mutually_exclusive_group()
+    arena.add_argument(
+        "--arena-per-tenant",
+        dest="shared",
+        action="store_false",
+        help="give every tenant its own allocator arena (the default)",
+    )
+    arena.add_argument(
+        "--shared",
+        dest="shared",
+        action="store_true",
+        help="one shared arena; tenant object names are namespaced",
+    )
+    serve_parser.set_defaults(shared=False)
+    serve_parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on one coalesced batch fed to the allocator (default 4096)",
+    )
+    serve_parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-tenant queue depth before backpressure (default 32)",
+    )
+    serve_parser.add_argument(
+        "--trace-dir",
+        default=".",
+        metavar="DIR",
+        help="directory for the per-tenant v3 session traces (default .)",
+    )
+    serve_parser.add_argument(
+        "--snapshot-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for SNAPSHOT files (default: --trace-dir)",
+    )
+    serve_parser.add_argument(
+        "--label",
+        default="serve",
+        help="artifact filename prefix (default 'serve')",
+    )
+
+    load_parser = subparsers.add_parser(
+        "load",
+        help="saturation load harness against a running 'repro serve'",
+    )
+    load_parser.add_argument(
+        "target", metavar="HOST:PORT", help="server address, e.g. 127.0.0.1:9876"
+    )
+    load_parser.add_argument(
+        "--clients", type=int, default=4, metavar="N", help="client threads (default 4)"
+    )
+    load_parser.add_argument(
+        "--requests",
+        type=int,
+        default=10_000,
+        metavar="M",
+        help="requests per client (default 10000)",
+    )
+    load_parser.add_argument(
+        "--pattern",
+        choices=["churn", "grow_shrink", "sliding"],
+        default="churn",
+        help="synthetic workload shape per client (default churn)",
+    )
+    load_parser.add_argument(
+        "--target-live",
+        type=int,
+        default=200,
+        metavar="N",
+        help="steady-state live objects per client (churn/sliding; default 200)",
+    )
+    load_parser.add_argument(
+        "--seed", type=int, default=0, help="base workload seed (client i uses seed+i)"
+    )
+    load_parser.add_argument(
+        "--batch",
+        type=int,
+        default=500,
+        metavar="N",
+        help="requests per wire batch (default 500)",
+    )
+    load_parser.add_argument(
+        "--window",
+        type=int,
+        default=4,
+        metavar="N",
+        help="pipelined batches kept in flight per client (default 4)",
+    )
+    load_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report as JSON instead of the summary line",
+    )
     return parser
 
 
@@ -1094,6 +1219,90 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.campaign.spec import SpecError
+    from repro.serve import ServeConfig, run_server
+
+    allocator = args.allocator
+    if allocator.strip().startswith("{"):
+        try:
+            allocator = json.loads(allocator)
+        except json.JSONDecodeError as error:
+            print(f"repro serve: --allocator is not valid JSON: {error}", file=sys.stderr)
+            return 2
+    config = ServeConfig(
+        allocator=allocator,
+        host=args.host,
+        port=args.port,
+        shared_arena=args.shared,
+        trace_dir=args.trace_dir,
+        snapshot_dir=args.snapshot_dir,
+        label=args.label,
+    )
+    if args.max_batch is not None:
+        if args.max_batch < 1:
+            print("repro serve: --max-batch must be >= 1", file=sys.stderr)
+            return 2
+        config.max_batch = args.max_batch
+    if args.queue_depth is not None:
+        if args.queue_depth < 1:
+            print("repro serve: --queue-depth must be >= 1", file=sys.stderr)
+            return 2
+        config.queue_depth = args.queue_depth
+    try:
+        return run_server(config)
+    except (SpecError, OSError, ValueError) as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 2
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import run_load
+
+    host, sep, port_text = args.target.rpartition(":")
+    if not sep or not host or not port_text.isdigit():
+        print(
+            f"repro load: target must be HOST:PORT, got {args.target!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.clients < 1 or args.requests < 1 or args.batch < 1 or args.window < 1:
+        print(
+            "repro load: --clients/--requests/--batch/--window must be >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        report = run_load(
+            host,
+            int(port_text),
+            clients=args.clients,
+            requests=args.requests,
+            pattern=args.pattern,
+            target_live=args.target_live,
+            seed=args.seed,
+            batch=args.batch,
+            window=args.window,
+        )
+    except OSError as error:
+        print(f"repro load: cannot reach {args.target}: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"{len(report.clients)} client(s): {report.applied}/{report.sent} "
+            f"request(s) applied in {report.elapsed_seconds:.2f}s "
+            f"({report.requests_per_second} req/s aggregate), "
+            f"{report.errors} error(s)"
+        )
+    return 1 if report.errors or report.applied != report.sent else 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     handlers = {
         "analyze": _cmd_trace_analyze,
@@ -1130,6 +1339,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_obs(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "load":
+        return _cmd_load(args)
     parser.print_help()
     return 1
 

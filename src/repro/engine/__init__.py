@@ -8,6 +8,7 @@ writing a custom observer.
 """
 
 from repro.engine.engine import EngineRun, Replayable, SimulationEngine, replay
+from repro.engine.session import EngineSession, SessionStateError
 from repro.engine.observers import (
     EVENT_HOOKS,
     OBSERVER_KINDS,
@@ -55,6 +56,7 @@ __all__ = [
     "CostObserver",
     "DeviceObserver",
     "EngineRun",
+    "EngineSession",
     "FootprintSeriesObserver",
     "GapHistogramObserver",
     "HistoryObserver",
@@ -64,6 +66,7 @@ __all__ = [
     "Replayable",
     "SampledSeriesObserver",
     "SerialFallbackWarning",
+    "SessionStateError",
     "ShardContext",
     "ShardedRun",
     "SimulationEngine",

@@ -13,17 +13,21 @@ with none attached the replay takes the allocator's zero-instrumentation
 fast path, which skips all ``RequestRecord``/``MoveEvent`` construction.
 Passive observers (metrics snapshots, cost charging) therefore cost nothing
 per request.
+
+Since the session refactor, ``run()`` is a thin wrapper over one
+:class:`~repro.engine.session.EngineSession` — open, apply the whole trace
+as a single batch, close — so a batch replay and a long-lived incremental
+session (the live allocation service) share one lifecycle implementation.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Union
 
 from repro.core.base import Allocator
-from repro.engine.observers import Observer, needs_events
-from repro.obs.telemetry import get_telemetry
+from repro.engine.observers import Observer
+from repro.engine.session import EngineSession
 from repro.workloads.base import Request, RequestSource, Trace
 
 #: What a replay can consume: a materialised trace, a streaming source
@@ -49,8 +53,13 @@ class EngineRun:
 
     @property
     def requests_per_second(self) -> float:
+        """Throughput of the run; ``0.0`` on sub-clock-resolution runs.
+
+        Never ``inf``: serve-mode stats serialise this straight into JSON,
+        and ``Infinity`` is not valid JSON.
+        """
         if self.elapsed_seconds <= 0:
-            return float("inf")
+            return 0.0
         return self.requests / self.elapsed_seconds
 
 
@@ -89,64 +98,19 @@ class SimulationEngine:
         attached for the duration of the call only, so the same allocator
         can be replayed again with different instrumentation.
         """
-        allocator = self.allocator
-        # One telemetry lookup per run, never per request: when disabled
-        # every span below is the shared no-op singleton and the stats
-        # bookkeeping at the end is skipped entirely.
-        telemetry = get_telemetry()
-        active = [obs for obs in self.observers if needs_events(obs)]
-        with telemetry.span("engine.attach"):
-            for observer in self.observers:
-                observer.on_attach(allocator)
-        for observer in active:
-            allocator.attach_observer(observer)
-        stats = allocator.stats
-        requests_before = stats.requests
-        moves_before = stats.total_moves
-        flushes_before = stats.flushes
+        session = EngineSession(
+            self.allocator, self.observers, finish_pending=self.finish_pending
+        ).open()
         try:
-            started = time.perf_counter()
-            with telemetry.span("engine.replay"):
-                allocator.run(trace)
-            if self.finish_pending and hasattr(allocator, "finish_pending_work"):
-                with telemetry.span("engine.flush_pending"):
-                    allocator.finish_pending_work()
-            elapsed = time.perf_counter() - started
+            session.apply(trace)
         except BaseException as error:
-            telemetry.abort("engine.replay", error)
-            # A raising replay never reaches on_finish; give every observer
-            # the chance to release external resources (e.g. a trace
-            # recorder aborts its writer so the partial file fails loudly).
-            # One observer's cleanup failing must neither starve the others
-            # of theirs nor replace the original replay error.
-            for observer in self.observers:
-                try:
-                    observer.on_abort(allocator, error)
-                except Exception:
-                    pass
+            # A raising replay never reaches on_finish; the session's abort
+            # path gives every observer its on_abort (e.g. a trace recorder
+            # aborts its writer so the partial file fails loudly) and
+            # detaches the active observers.
+            session.abort(error)
             raise
-        finally:
-            for observer in active:
-                allocator.detach_observer(observer)
-        with telemetry.span("engine.finish"):
-            for observer in self.observers:
-                observer.on_finish(allocator)
-        requests = stats.requests - requests_before
-        if telemetry.enabled:
-            telemetry.add("engine.replays")
-            telemetry.add("engine.requests", requests)
-            telemetry.add("engine.moves", stats.total_moves - moves_before)
-            telemetry.add("engine.flushes", stats.flushes - flushes_before)
-            if elapsed > 0:
-                telemetry.gauge("engine.requests_per_sec", round(requests / elapsed, 1))
-            telemetry.gauge("engine.elapsed_seconds", round(elapsed, 6))
-        return EngineRun(
-            allocator=allocator,
-            trace=trace,
-            requests=requests,
-            elapsed_seconds=elapsed,
-            observers=self.observers,
-        )
+        return session.close(trace)
 
 
 def replay(

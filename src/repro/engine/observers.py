@@ -25,7 +25,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.events import FlushRecord, MoveEvent, RequestRecord
 from repro.obs.telemetry import get_telemetry
@@ -84,6 +84,12 @@ class Observer:
     #: mergeable observers with documented sharded-reduction semantics
     #: (per-shard allocator state combined by sum/max/concat).
     merge_exact = False
+    #: Whether the observer's state can be pickled into a session snapshot
+    #: (see :meth:`repro.engine.session.EngineSession.snapshot`).  Observers
+    #: holding external resources — an open trace writer, a live file
+    #: handle — set this False; their state lives in the artifact they
+    #: manage, not in the snapshot.
+    snapshotable = True
 
     def on_attach(self, allocator) -> None:
         """Called once when the observer joins a replay, before any request."""
@@ -601,12 +607,15 @@ class TraceRecorderObserver(Observer):
     """
 
     export_key = "trace_recorder"
+    #: The open writer (and its worker thread in background mode) cannot be
+    #: pickled into a session snapshot; the recording itself is the artifact.
+    snapshotable = False
 
     def __init__(
         self,
         path: str,
         version: int = 2,
-        compress: bool = False,
+        compress: Union[bool, str] = False,
         label: str = "recorded",
         metadata: Optional[Dict[str, Any]] = None,
     ) -> None:
@@ -614,7 +623,9 @@ class TraceRecorderObserver(Observer):
             raise ValueError("trace_recorder needs a non-empty 'path'")
         self.path = str(path)
         self.version = int(version)
-        self.compress = bool(compress)
+        # False / True (inline zlib) / "background" (writer-thread zlib,
+        # byte-identical output) — validated by the writer at on_attach.
+        self.compress = compress if isinstance(compress, str) else bool(compress)
         self.label = str(label)
         self.metadata = dict(metadata) if metadata else None
         self.requests_written = 0

@@ -34,4 +34,9 @@ SITES: Dict[str, str] = {
     "trace.write.block": "a v3 binary-trace block write (mid-block)",
     "trace.write.trailer": "the END trailer / v3 footer write at trace close",
     "checkpoint.persist": "the checkpoint that persists the translation map",
+    "checkpoint.snapshot": "the .tmp body write of a session snapshot file",
+    "serve.accept": "before a new client connection is handed its session",
+    "serve.batch.apply": "before a coalesced batch is applied to a tenant session",
+    "serve.record.sync": "before a served batch's trace records are synced to disk",
+    "serve.snapshot": "before a served session is snapshotted to disk",
 }

@@ -61,8 +61,11 @@ class ExecutionMetrics:
 
     @property
     def requests_per_second(self) -> float:
+        """Throughput of the replay; ``0.0`` (never ``inf``) when the run
+        finished under the clock's resolution, so the value always
+        serialises cleanly into JSON."""
         if self.elapsed_seconds <= 0:
-            return float("inf")
+            return 0.0
         return self.requests / self.elapsed_seconds
 
     def summary_row(self, cost_names: Optional[Sequence[str]] = None) -> List[str]:

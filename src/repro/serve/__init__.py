@@ -1,0 +1,70 @@
+"""The live allocation service: serve allocator sessions over a socket.
+
+``repro serve`` turns the batch replay engine into a long-running
+service: each client connection is a tenant feeding an incremental
+:class:`~repro.engine.session.EngineSession`, every session is recorded
+as a replayable block-indexed v3 trace, and ``STATS`` / ``SNAPSHOT`` /
+``DRAIN`` control verbs expose live state.  ``repro load`` is the
+matching saturation harness.  See :mod:`repro.serve.protocol` for the
+wire format and :mod:`repro.serve.server` for the durability contract.
+"""
+
+from repro.serve.client import (
+    LOAD_PATTERNS,
+    ClientReport,
+    LoadReport,
+    ServeClient,
+    ServeClientError,
+    load_pattern_trace,
+    run_load,
+)
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_requests,
+    encode_frame,
+    encode_requests,
+    read_frame,
+    read_frame_sync,
+)
+from repro.serve.server import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_QUEUE_DEPTH,
+    ServeConfig,
+    ServeError,
+    ServeHandle,
+    ServeServer,
+    TenantSession,
+    restore_session,
+    run_server,
+    start_background,
+)
+
+__all__ = [
+    "LOAD_PATTERNS",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_QUEUE_DEPTH",
+    "ClientReport",
+    "LoadReport",
+    "ProtocolError",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "ServeError",
+    "ServeHandle",
+    "ServeServer",
+    "TenantSession",
+    "decode_requests",
+    "encode_frame",
+    "encode_requests",
+    "load_pattern_trace",
+    "read_frame",
+    "read_frame_sync",
+    "restore_session",
+    "run_load",
+    "run_server",
+    "start_background",
+]

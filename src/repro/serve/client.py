@@ -1,0 +1,332 @@
+"""Client side of the live allocation service: a sync client + load harness.
+
+:class:`ServeClient` is a small blocking-socket client — the natural shape
+for tests, scripts, and the per-thread workers of the saturation harness
+(the server is the async side; clients stay simple).  It supports
+*pipelining*: :meth:`send_batch` fires a batch without waiting, and
+:meth:`drain_acks` collects responses later, so a loader can keep
+``window`` batches in flight and actually saturate the server instead of
+ping-ponging one batch per round trip.
+
+:func:`run_load` is the ``repro load`` harness: N client threads, each
+generating a deterministic synthetic workload (per-client seed), batching
+it over the wire, and reporting aggregate applied-requests-per-second —
+the number ``benchmarks/bench_serve.py`` guards against single-process
+replay throughput.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    encode_frame,
+    encode_requests,
+    read_frame_sync,
+)
+from repro.workloads import (
+    UniformSizes,
+    churn_trace,
+    grow_then_shrink_trace,
+    sliding_window_trace,
+)
+from repro.workloads.base import Request
+
+#: Patterns the load generator can synthesize, per client, deterministically.
+LOAD_PATTERNS = ("churn", "grow_shrink", "sliding")
+
+
+class ServeClientError(RuntimeError):
+    """The server refused a request or the connection failed."""
+
+
+class ServeClient:
+    """A blocking client for one connection to ``repro serve``."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._file = self._sock.makefile("rb")
+        self._seq = 0
+        self._inflight = 0
+        hello: Dict[str, Any] = {"op": "hello", "protocol": PROTOCOL_VERSION}
+        if tenant is not None:
+            hello["tenant"] = tenant
+        self._send(hello)
+        response = self._recv()
+        if not response.get("ok"):
+            raise ServeClientError(f"hello refused: {response.get('error')}")
+        self.tenant: str = response["tenant"]
+        self.mode: str = response.get("mode", "per-tenant")
+        self.trace_path: str = response.get("trace", "")
+
+    # -------------------------------------------------------------- plumbing
+    def _send(self, message: Dict[str, Any]) -> None:
+        self._sock.sendall(encode_frame(message))
+
+    def _recv(self) -> Dict[str, Any]:
+        response = read_frame_sync(self._file)
+        if response is None:
+            raise ServeClientError("server closed the connection")
+        return response
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # ------------------------------------------------------------- pipelining
+    def send_batch(self, requests: Sequence[Request]) -> int:
+        """Fire one batch without waiting for its ack; returns its seq."""
+        seq = self._next_seq()
+        self._send({"op": "batch", "seq": seq, "reqs": encode_requests(requests)})
+        self._inflight += 1
+        return seq
+
+    def drain_acks(self, count: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Collect ``count`` batch acks (default: everything in flight)."""
+        want = self._inflight if count is None else min(count, self._inflight)
+        acks = []
+        for _ in range(want):
+            acks.append(self._recv())
+            self._inflight -= 1
+        return acks
+
+    # ------------------------------------------------------------ one-shot ops
+    def apply(self, requests: Sequence[Request]) -> Dict[str, Any]:
+        """Send one batch and wait for its ack."""
+        self.send_batch(requests)
+        [ack] = self.drain_acks(1)
+        return ack
+
+    def _control(self, op: str, **extra: Any) -> Dict[str, Any]:
+        if self._inflight:
+            self.drain_acks()
+        message = {"op": op, "seq": self._next_seq()}
+        message.update(extra)
+        self._send(message)
+        response = self._recv()
+        if not response.get("ok"):
+            raise ServeClientError(f"{op} failed: {response.get('error')}")
+        return response
+
+    def stats(self) -> Dict[str, Any]:
+        """Live session stats (requests, footprint, rps, recorded count)."""
+        return self._control("stats")["stats"]
+
+    def snapshot(self, path: Optional[str] = None) -> Dict[str, Any]:
+        """Checkpoint the session server-side; returns the snapshot info."""
+        extra = {"path": path} if path else {}
+        return self._control("snapshot", **extra)["snapshot"]
+
+    def drain(self) -> Dict[str, Any]:
+        """Barrier: returns once everything enqueued is applied + recorded."""
+        return self._control("drain")
+
+    def close(self) -> Optional[Dict[str, Any]]:
+        """Finalize the session (per-tenant mode) and close the connection."""
+        result = None
+        try:
+            if self._inflight:
+                self.drain_acks()
+            self._send({"op": "close"})
+            goodbye = read_frame_sync(self._file)
+            if goodbye is not None:
+                result = goodbye.get("result")
+        except (OSError, ProtocolError, ServeClientError):
+            pass
+        finally:
+            try:
+                self._file.close()
+                self._sock.close()
+            except OSError:
+                pass
+        return result
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ------------------------------------------------------------ load generation
+def load_pattern_trace(
+    pattern: str, requests: int, seed: int, target_live: int = 200
+):
+    """The deterministic per-client workload of the saturation harness."""
+    sizes = UniformSizes(1, 64)
+    if pattern == "churn":
+        return churn_trace(requests, sizes, target_live=target_live, seed=seed)
+    if pattern == "grow_shrink":
+        return grow_then_shrink_trace(max(1, requests // 2), sizes, seed=seed)
+    if pattern == "sliding":
+        return sliding_window_trace(
+            max(1, requests // 2), max(1, target_live), sizes, seed=seed
+        )
+    raise ValueError(f"unknown load pattern {pattern!r} (known: {LOAD_PATTERNS})")
+
+
+@dataclass
+class ClientReport:
+    """One load client's outcome."""
+
+    tenant: str
+    sent: int
+    applied: int
+    batches: int
+    errors: int
+    elapsed_seconds: float
+    error: Optional[str] = None
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one :func:`run_load` run (JSON-safe via to_dict)."""
+
+    clients: List[ClientReport] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def sent(self) -> int:
+        return sum(c.sent for c in self.clients)
+
+    @property
+    def applied(self) -> int:
+        return sum(c.applied for c in self.clients)
+
+    @property
+    def errors(self) -> int:
+        return sum(c.errors for c in self.clients) + sum(
+            1 for c in self.clients if c.error
+        )
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return round(self.applied / self.elapsed_seconds, 1)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "clients": len(self.clients),
+            "sent": self.sent,
+            "applied": self.applied,
+            "errors": self.errors,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "requests_per_second": self.requests_per_second,
+            "per_client": [
+                {
+                    "tenant": c.tenant,
+                    "sent": c.sent,
+                    "applied": c.applied,
+                    "batches": c.batches,
+                    "errors": c.errors,
+                    "elapsed_seconds": round(c.elapsed_seconds, 6),
+                    **({"error": c.error} if c.error else {}),
+                }
+                for c in self.clients
+            ],
+        }
+
+
+def _run_one_client(
+    host: str,
+    port: int,
+    tenant: str,
+    requests_source,
+    batch: int,
+    window: int,
+    out: List[Optional[ClientReport]],
+    index: int,
+) -> None:
+    started = time.perf_counter()
+    sent = applied = batches = errors = 0
+    error: Optional[str] = None
+    try:
+        with ServeClient(host, port, tenant=tenant) as client:
+            requests = list(requests_source)
+            pending = 0
+            for offset in range(0, len(requests), batch):
+                chunk = requests[offset : offset + batch]
+                client.send_batch(chunk)
+                sent += len(chunk)
+                batches += 1
+                pending += 1
+                if pending >= window:
+                    for ack in client.drain_acks(1):
+                        applied += int(ack.get("applied", 0))
+                        if not ack.get("ok"):
+                            errors += 1
+                    pending -= 1
+            for ack in client.drain_acks():
+                applied += int(ack.get("applied", 0))
+                if not ack.get("ok"):
+                    errors += 1
+    except (OSError, ProtocolError, ServeClientError) as exc:
+        error = f"{type(exc).__name__}: {exc}"
+    out[index] = ClientReport(
+        tenant=tenant,
+        sent=sent,
+        applied=applied,
+        batches=batches,
+        errors=errors,
+        elapsed_seconds=time.perf_counter() - started,
+        error=error,
+    )
+
+
+def run_load(
+    host: str,
+    port: int,
+    clients: int = 4,
+    requests: int = 10_000,
+    pattern: str = "churn",
+    target_live: int = 200,
+    seed: int = 0,
+    batch: int = 500,
+    window: int = 4,
+) -> LoadReport:
+    """Saturate a server: ``clients`` threads, ``requests`` each, pipelined.
+
+    Every client is a tenant named ``load-<i>`` running a deterministic
+    synthetic workload seeded with ``seed + i`` — so a load run against a
+    per-tenant server leaves N independently replayable traces whose
+    offline replay must match the live sessions exactly.
+    """
+    if clients < 1:
+        raise ValueError("need at least one client")
+    traces = [
+        load_pattern_trace(pattern, requests, seed + i, target_live=target_live)
+        for i in range(clients)
+    ]
+    reports: List[Optional[ClientReport]] = [None] * clients
+    threads = [
+        threading.Thread(
+            target=_run_one_client,
+            args=(host, port, f"load-{i}", traces[i], batch, window, reports, i),
+            name=f"load-{i}",
+        )
+        for i in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report = LoadReport(elapsed_seconds=time.perf_counter() - started)
+    for item in reports:
+        if item is not None:
+            report.clients.append(item)
+    return report

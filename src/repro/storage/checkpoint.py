@@ -9,13 +9,21 @@ the most recent checkpoint.
 :class:`CheckpointManager` records freed extents, raises
 :class:`FreedSpaceViolation` if an algorithm writes into one of them, and
 exposes counters used by experiment E5 (checkpoints per flush, Lemma 3.3).
+
+The module also carries the snapshot file helpers
+(:func:`write_snapshot` / :func:`read_snapshot`) that the engine's session
+layer and the live allocation service build their checkpoint/restore on:
+an atomically-replaced pickle with a small header, written through the
+same ``.tmp`` + ``os.replace`` discipline as every other artifact.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import os
+import pickle
+from typing import Any, Dict, List, Optional
 
-from repro.faults.injector import fault_point
+from repro.faults.injector import fault_point, fault_write
 from repro.storage.extent import Extent, coalesce
 
 
@@ -79,7 +87,88 @@ class CheckpointManager:
         self.checkpoints_taken += 1
         return self.checkpoints_taken
 
+    def recover(self) -> None:
+        """Crash recovery: thaw all frozen space, keep the counters.
+
+        Space freed since the last checkpoint was, by definition, never
+        reused, so after a crash the pre-crash frozen set is irrelevant.
+        Callers (e.g. ``BlockTranslationLayer.crash``) use this instead of
+        poking the private extent list.
+        """
+        self._frozen.clear()
+
     def reset_counters(self) -> None:
         """Zero the checkpoint and violation counters (frozen space kept)."""
         self.checkpoints_taken = 0
         self.violations = 0
+
+    # -------------------------------------------------------- serialization
+    def to_state(self) -> Dict[str, Any]:
+        """A JSON-safe dict capturing the manager's full state.
+
+        Round-trips through :meth:`from_state`; used by session snapshots
+        so checkpoint bookkeeping survives a serialize/restore cycle
+        without callers reaching into private attributes.
+        """
+        self._frozen = coalesce(self._frozen)
+        return {
+            "enforce": self.enforce,
+            "frozen": [[extent.start, extent.length] for extent in self._frozen],
+            "checkpoints_taken": self.checkpoints_taken,
+            "violations": self.violations,
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "CheckpointManager":
+        """Rebuild a manager from a :meth:`to_state` dict."""
+        manager = cls(enforce=bool(state.get("enforce", True)))
+        manager._frozen = [
+            Extent(int(start), int(length)) for start, length in state.get("frozen", [])
+        ]
+        manager.checkpoints_taken = int(state.get("checkpoints_taken", 0))
+        manager.violations = int(state.get("violations", 0))
+        return manager
+
+
+# ------------------------------------------------------------ snapshot files
+SNAPSHOT_MAGIC = b"\x93RPSNAP1"
+
+
+class SnapshotError(RuntimeError):
+    """A snapshot file is missing, truncated, or not a snapshot at all."""
+
+
+def write_snapshot(path, payload: Any) -> None:
+    """Atomically write ``payload`` (any picklable object) to ``path``.
+
+    The bytes land in a ``.tmp`` sibling first and are atomically renamed
+    over ``path``, so a crash mid-write never leaves a half-snapshot under
+    the final name.  The ``checkpoint.snapshot`` fault site covers the body
+    write for the chaos harness.
+    """
+    data = SNAPSHOT_MAGIC + pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as handle:
+        fault_write("checkpoint.snapshot", handle, data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def read_snapshot(path) -> Any:
+    """Read a :func:`write_snapshot` file back; loud on anything malformed."""
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as error:
+        raise SnapshotError(f"{path}: cannot read snapshot ({error})") from error
+    if not blob.startswith(SNAPSHOT_MAGIC):
+        raise SnapshotError(
+            f"{path}: not a snapshot file (bad magic {blob[:8]!r})"
+        )
+    try:
+        return pickle.loads(blob[len(SNAPSHOT_MAGIC):])
+    except Exception as error:
+        raise SnapshotError(
+            f"{path}: truncated or corrupt snapshot ({error})"
+        ) from error

@@ -84,9 +84,7 @@ class BlockTranslationLayer:
         """Simulate a crash: the volatile map is lost, recovery reloads durable."""
         self._volatile = dict(self._durable)
         self.updates_since_checkpoint = 0
-        # Space freed since the last checkpoint was, by definition, never
-        # reused; after recovery the pre-crash frozen set is irrelevant.
-        self.checkpoints._frozen.clear()
+        self.checkpoints.recover()
 
     def verify_recoverable(self, live_data: Dict[Hashable, Extent]) -> None:
         """Check every durable mapping still points at the block's data.

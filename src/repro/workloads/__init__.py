@@ -40,7 +40,9 @@ from repro.workloads.binary import (
     BlockIndex,
     TraceBlock,
     TraceFormatError,
+    TraceTail,
     read_block_index,
+    read_trace_tail,
 )
 from repro.workloads.replay import (
     KNOWN_TRACE_VERSIONS,
@@ -88,7 +90,9 @@ __all__ = [
     "BinaryTraceWriter",
     "BlockIndex",
     "TraceBlock",
+    "TraceTail",
     "read_block_index",
+    "read_trace_tail",
     "TRACE_FORMAT_VERSION",
     "BINARY_FORMAT_VERSION",
     "KNOWN_TRACE_VERSIONS",

@@ -82,6 +82,8 @@ from __future__ import annotations
 
 import json
 import os
+import queue
+import threading
 import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
@@ -952,6 +954,64 @@ def read_block_index(path: Union[str, os.PathLike]) -> Optional[BlockIndex]:
     )
 
 
+# ----------------------------------------------------------------- tail reader
+@dataclass
+class TraceTail:
+    """What :func:`read_trace_tail` salvaged from a (possibly crashed) v3 file."""
+
+    requests: List[Request]
+    complete: bool  # True when the END trailer was reached (a finished trace)
+    blocks: int  # complete blocks decoded
+    header: BinaryHeader
+
+
+def read_trace_tail(path: Union[str, os.PathLike]) -> TraceTail:
+    """Best-effort sequential read of a v3 trace that may lack its trailer.
+
+    The strict readers treat a missing END trailer as corruption — correct
+    for archives, useless for crash recovery.  A live serving session syncs
+    its recording after every batch (see :meth:`BinaryTraceWriter.sync`),
+    so after a crash the file is a prefix of complete, self-delimiting
+    blocks followed by at most one torn block.  This reader decodes every
+    complete block and stops quietly at the first truncation, returning the
+    salvaged requests — the "trace tail" that snapshot-restore replays.
+
+    Raises :class:`TraceFormatError` only when the file is not a plain v3
+    trace at all (bad magic, not v3, or a header too mangled to read).
+    """
+    with open(path, "rb") as handle:
+        header = read_binary_header(handle, path)
+        if header.version != 3:
+            raise TraceFormatError(
+                f"{path}: tail recovery needs a v3 trace, got v{header.version}"
+            )
+        requests: List[Request] = []
+        blocks = 0
+        while True:
+            probe = handle.read(1)
+            if len(probe) != 1:
+                return TraceTail(requests, False, blocks, header)
+            tag = probe[0]
+            if tag == _TAG_END:
+                return TraceTail(requests, True, blocks, header)
+            if tag != _TAG_BLOCK:
+                return TraceTail(requests, False, blocks, header)
+            try:
+                record_count, names, _sizes, last_raw, body = _read_block_parts(
+                    handle, header.compressed, path, blocks
+                )
+                decoded = list(
+                    _decode_block_records(
+                        body, names, last_raw, record_count, path, blocks
+                    )
+                )
+            except TraceFormatError:
+                # A torn final block: everything before it is intact.
+                return TraceTail(requests, False, blocks, header)
+            requests.extend(decoded)
+            blocks += 1
+
+
 # --------------------------------------------------------------------- writer
 class BinaryTraceWriter:
     """Streaming writer for the binary trace formats (v2 and v3).
@@ -968,7 +1028,7 @@ class BinaryTraceWriter:
         path: Union[str, os.PathLike],
         label: str = "trace",
         metadata: Optional[Dict[str, Any]] = None,
-        compress: bool = False,
+        compress: Union[bool, str] = False,
         compresslevel: int = 6,
         version: int = BINARY_FORMAT_VERSION,
         block_records: int = DEFAULT_BLOCK_RECORDS,
@@ -980,6 +1040,11 @@ class BinaryTraceWriter:
             )
         if version == 3 and block_records < 1:
             raise ValueError(f"v3 block size must be >= 1 record, got {block_records}")
+        if isinstance(compress, str) and compress != "background":
+            raise ValueError(
+                f"unknown compress mode {compress!r}; "
+                "use False, True (inline), or 'background'"
+            )
         self.path = path
         self.version = version
         self.count = 0
@@ -1004,8 +1069,11 @@ class BinaryTraceWriter:
         )
         self._compressed = bool(compress)
         self._compresslevel = compresslevel
+        self._background = compress == "background"
         self._compressor = (
-            zlib.compressobj(compresslevel) if compress and version == 2 else None
+            zlib.compressobj(compresslevel)
+            if compress and version == 2 and not self._background
+            else None
         )
         self._buffer = bytearray()
         self._bound: Dict[str, int] = {}  # live name -> id
@@ -1020,6 +1088,25 @@ class BinaryTraceWriter:
         self._block_count = 0
         self._pending_snapshot = b""
         self._pending_entries = 0
+        # Background compression: a single writer thread owns the file
+        # handle between header and trailer — it compresses each chunk or
+        # block and writes it in submission order, so the on-disk bytes are
+        # identical to inline compression while the encode loop stays free
+        # to run.  Errors surface on the next write()/sync()/close().
+        self._tasks: Optional[queue.Queue] = None
+        self._worker: Optional[threading.Thread] = None
+        self._worker_error: Optional[BaseException] = None
+        if self._background:
+            self._background_compressor = (
+                zlib.compressobj(compresslevel) if version == 2 else None
+            )
+            self._tasks = queue.Queue(maxsize=8)
+            self._worker = threading.Thread(
+                target=self._background_loop,
+                name=f"trace-compress:{os.path.basename(str(path))}",
+                daemon=True,
+            )
+            self._worker.start()
         if version == 3:
             self._start_block()
 
@@ -1071,6 +1158,19 @@ class BinaryTraceWriter:
         """Write the buffered block (header + snapshot + body) to disk."""
         body = bytes(self._buffer)
         self._buffer.clear()
+        if self._background:
+            self._submit(
+                (
+                    "block",
+                    (
+                        body,
+                        self._block_count,
+                        self._pending_entries,
+                        self._pending_snapshot,
+                    ),
+                )
+            )
+            return
         if self._compressed:
             body = zlib.compress(body, self._compresslevel)
         offset = self._handle.tell()
@@ -1087,6 +1187,69 @@ class BinaryTraceWriter:
         # detects (the missing END trailer / footer), never a silent gap.
         fault_write("trace.write.block", self._handle, block)
         self._blocks.append((offset, self._block_count))
+
+    # ---------------------------------------------------- background worker
+    def _submit(self, task) -> None:
+        """Hand one task to the writer thread (surfaces its last error)."""
+        if self._worker_error is not None:
+            raise self._worker_error
+        self._tasks.put(task)
+
+    def _background_loop(self) -> None:
+        """The writer thread: compress and write tasks in submission order.
+
+        The thread is the only writer between header and trailer, so file
+        offsets recorded here (for the v3 footer) are consistent.  zlib
+        releases the GIL, which is what lets compression overlap the
+        CPU-bound encode/replay loop.  After an error the loop keeps
+        draining (writing nothing) so submitters never block on a dead
+        consumer; the error re-raises on the next write()/sync()/close().
+        """
+        while True:
+            task = self._tasks.get()
+            if task is None:
+                self._tasks.task_done()
+                return
+            kind, payload = task
+            try:
+                if self._worker_error is None:
+                    if kind == "chunk":
+                        data = self._background_compressor.compress(payload)
+                        if data:
+                            fault_write("trace.write.body", self._handle, data)
+                    elif kind == "flush":
+                        tail = self._background_compressor.flush()
+                        if tail:
+                            self._handle.write(tail)
+                    else:  # "block"
+                        body, block_count, entries, snapshot = payload
+                        body = zlib.compress(body, self._compresslevel)
+                        offset = self._handle.tell()
+                        block = (
+                            bytes([_TAG_BLOCK])
+                            + encode_varint(block_count)
+                            + encode_varint(entries)
+                            + encode_varint(len(snapshot))
+                            + snapshot
+                            + encode_varint(len(body))
+                            + body
+                        )
+                        fault_write("trace.write.block", self._handle, block)
+                        self._blocks.append((offset, block_count))
+            except BaseException as error:
+                self._worker_error = error
+            finally:
+                self._tasks.task_done()
+
+    def _finish_background(self, discard: bool = False) -> None:
+        """Stop the writer thread and (unless discarding) surface its error."""
+        if self._worker is None:
+            return
+        self._tasks.put(None)
+        self._worker.join()
+        self._worker = None
+        if not discard and self._worker_error is not None:
+            raise self._worker_error
 
     # --------------------------------------------------------------- records
     def _append_name(self, buffer: bytearray, raw: bytes) -> None:
@@ -1164,10 +1327,41 @@ class BinaryTraceWriter:
     def _flush_buffer(self) -> None:
         data = bytes(self._buffer)
         self._buffer.clear()
+        if self._background:
+            if data:
+                self._submit(("chunk", data))
+            return
         if self._compressor is not None:
             data = self._compressor.compress(data)
         if data:
             fault_write("trace.write.body", self._handle, data)
+
+    def sync(self) -> None:
+        """Flush everything written so far to the OS in decodable form.
+
+        For v3 the current partial block is written out as its own
+        (shorter) block and a fresh block begins — legal because the footer
+        records per-block counts — so after ``sync()`` every request
+        written so far sits in a complete, self-delimiting block that
+        :func:`read_trace_tail` can recover even if the process dies before
+        :meth:`close`.  For v2 the record buffer is flushed (a compressed
+        v2 stream still only terminates at close, so sync merely bounds the
+        buffered bytes).  Background-compression tasks are drained first,
+        so on return the bytes have left the process.
+        """
+        if self._closed:
+            raise ValueError(f"trace writer for {self.path} is already closed")
+        if self.version == 3:
+            if self._block_count:
+                self._flush_block()
+                self._start_block()
+        else:
+            self._flush_buffer()
+        if self._background:
+            self._tasks.join()
+            if self._worker_error is not None:
+                raise self._worker_error
+        self._handle.flush()
 
     def close(self) -> None:
         """Write the END trailer (and v3 footer index) and close the file
@@ -1177,6 +1371,9 @@ class BinaryTraceWriter:
         if self.version == 3:
             if self._block_count:
                 self._flush_block()
+            # The footer needs the final offsets, so the writer thread (the
+            # only other writer) must be done before the trailer lands.
+            self._finish_background()
             end_offset = self._handle.tell()
             footer = bytearray([_TAG_END])
             footer += encode_varint(self.count)
@@ -1197,7 +1394,10 @@ class BinaryTraceWriter:
             self._buffer.append(_TAG_END)
             self._buffer += encode_varint(self.count)
             self._flush_buffer()
-            if self._compressor is not None:
+            if self._background:
+                self._submit(("flush", None))
+                self._finish_background()
+            elif self._compressor is not None:
                 self._handle.write(self._compressor.flush())
         self._handle.close()
         self._closed = True
@@ -1212,5 +1412,6 @@ class BinaryTraceWriter:
     def abort(self) -> None:
         """Close the underlying file without writing a valid trailer."""
         if not self._closed:
+            self._finish_background(discard=True)
             self._handle.close()
             self._closed = True

@@ -186,7 +186,7 @@ def open_trace_writer(
     version: int = TRACE_FORMAT_VERSION,
     label: str = "trace",
     metadata: Optional[Dict[str, Any]] = None,
-    compress: bool = False,
+    compress: Union[bool, str] = False,
     block_records: int = DEFAULT_BLOCK_RECORDS,
 ):
     """Open a streaming trace writer (``.write(request)`` / ``.close()``).
@@ -194,8 +194,11 @@ def open_trace_writer(
     This is the single write path for every format: :func:`save_trace` and
     ``repro trace convert`` both go through it.  ``compress`` is only
     meaningful for the binary formats (v2: one zlib stream over the body,
-    v3: zlib per block so the file stays seekable); ``block_records`` sets
-    the v3 block size.
+    v3: zlib per block so the file stays seekable); pass
+    ``compress="background"`` to run the zlib work on a writer thread that
+    overlaps a CPU-bound producer (byte-identical output — see
+    :class:`~repro.workloads.binary.BinaryTraceWriter`).  ``block_records``
+    sets the v3 block size.
     """
     if compress and version not in (2, 3):
         raise ValueError(
@@ -226,7 +229,7 @@ def save_trace(
     path: Union[str, os.PathLike],
     metadata: Optional[Dict[str, Any]] = None,
     version: int = TRACE_FORMAT_VERSION,
-    compress: bool = False,
+    compress: Union[bool, str] = False,
     block_records: int = DEFAULT_BLOCK_RECORDS,
 ) -> None:
     """Write ``trace`` to ``path`` in the requested format version.
